@@ -1,0 +1,48 @@
+"""Experiment E2 — Deutsch's algorithm (Sec. 5.2, Eq. (14)).
+
+Reproduces the second case study: ``⊨_tot {I} Deutsch {(|00⟩⟨00|+|11⟩⟨11|)_{q,q1}}``,
+i.e. the algorithm's answer always matches the (nondeterministically chosen)
+oracle class.  The benchmark times proof-system verification, semantic
+validation and the per-branch decision check.
+"""
+
+import numpy as np
+
+from repro.logic.prover import verify_formula
+from repro.logic.semantic_check import check_formula_semantically
+from repro.programs.deutsch import deutsch_formula
+from repro.semantics.denotational import DenotationOptions, denotation
+
+
+def test_deutsch_total_correctness_verification(benchmark):
+    formula, register = deutsch_formula()
+    report = benchmark(lambda: verify_formula(formula, register))
+    assert report.verified
+    benchmark.extra_info["paper_claim"] = "⊨_tot {I} Deutsch {(|00⟩⟨00|+|11⟩⟨11|)_{q,q1}} (Eq. 14)"
+    benchmark.extra_info["verified"] = report.verified
+
+
+def test_deutsch_semantic_cross_validation(benchmark):
+    formula, register = deutsch_formula()
+    result = benchmark(lambda: check_formula_semantically(formula, register, samples=4))
+    assert result.holds
+    benchmark.extra_info["worst_margin"] = result.margin
+
+
+def test_deutsch_branch_resolution(benchmark):
+    """All four oracle resolutions decide constant-vs-balanced with certainty."""
+    formula, register = deutsch_formula()
+    post = formula.postcondition.predicates[0].matrix
+    rho = np.eye(register.dimension, dtype=complex) / register.dimension
+
+    def run():
+        maps = denotation(formula.program, register, DenotationOptions(dedup=False))
+        return [channel.apply(rho) for channel in maps]
+
+    outputs = benchmark(run)
+    assert len(outputs) == 4
+    for output in outputs:
+        assert np.trace(post @ output).real == np.trace(output).real or abs(
+            np.trace(post @ output).real - np.trace(output).real
+        ) < 1e-9
+    benchmark.extra_info["oracle_branches"] = len(outputs)

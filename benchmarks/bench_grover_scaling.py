@@ -1,0 +1,57 @@
+"""Experiment E4 — Grover verification scaling (Sec. 6 "Performance").
+
+The paper reports that the verification cost of the ``n``-qubit Grover
+algorithm in NQPV is dominated by ``2^n × 2^n`` matrix manipulation, reaching
+roughly 90 seconds and 32 GB at 13 qubits.  This benchmark reproduces the
+*shape* of that claim on CI-scale hardware: verification time grows
+exponentially with the qubit count (the per-qubit growth factor is recorded in
+``extra_info``), while the verified formula remains
+``⊨_tot {p·I} Grover {[t]}`` with ``p`` the analytic success probability.
+"""
+
+import time
+
+import pytest
+
+from repro.logic.prover import verify_formula
+from repro.programs.grover import grover_formula, grover_iterations, grover_success_probability
+
+#: Qubit counts swept by default; the paper's 13-qubit point is extrapolated.
+QUBIT_SWEEP = [2, 3, 4, 5, 6, 7]
+
+
+@pytest.mark.parametrize("num_qubits", QUBIT_SWEEP)
+def test_grover_verification_scaling(benchmark, num_qubits):
+    formula, register = grover_formula(num_qubits)
+
+    report = benchmark(lambda: verify_formula(formula, register))
+    assert report.verified
+    benchmark.extra_info["num_qubits"] = num_qubits
+    benchmark.extra_info["dimension"] = register.dimension
+    benchmark.extra_info["grover_iterations"] = grover_iterations(num_qubits)
+    benchmark.extra_info["success_probability"] = grover_success_probability(num_qubits)
+    benchmark.extra_info["paper_claim"] = (
+        "verification cost grows exponentially with the qubit count "
+        "(13 qubits ≈ 90 s / 32 GB on the authors' machine)"
+    )
+
+
+def test_grover_growth_factor(benchmark):
+    """Measure the per-qubit growth factor of verification time directly."""
+
+    def sweep():
+        timings = {}
+        for num_qubits in (3, 4, 5, 6):
+            formula, register = grover_formula(num_qubits)
+            start = time.perf_counter()
+            report = verify_formula(formula, register)
+            timings[num_qubits] = time.perf_counter() - start
+            assert report.verified
+        return timings
+
+    timings = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    growth = [timings[n + 1] / max(timings[n], 1e-9) for n in (3, 4, 5)]
+    benchmark.extra_info["timings_seconds"] = {str(k): round(v, 5) for k, v in timings.items()}
+    benchmark.extra_info["per_qubit_growth_factors"] = [round(g, 2) for g in growth]
+    # The qualitative claim: cost increases with the qubit count.
+    assert timings[6] > timings[3]

@@ -1,0 +1,134 @@
+"""Experiments E5 + E6 — semantic design decisions (Sec. 3.3, Examples 3.3/3.4).
+
+E5: the pure-state semantics cannot be lifted consistently to mixed states —
+the two decompositions of ``I/2`` (Eq. (5)) yield different lifted outcomes
+while the mixed-state semantics is decomposition-independent.
+
+E6: composing with the nondeterministic program ``S = skip □ q*=X`` in the
+relational style distinguishes the physically identical preparations ``T`` and
+``T±`` (Example 3.4), whereas the lifted model keeps them identical; the
+classical substrate shows why the relational model *is* fine classically.
+"""
+
+import numpy as np
+import pytest
+
+from repro.language.ast import MEAS_PLUS_MINUS, Skip, Unitary, measure, ndet, seq
+from repro.linalg.constants import H, X
+from repro.linalg.operators import operators_close
+from repro.linalg.states import density, ket, maximally_mixed, minus_state, plus_state
+from repro.registers import QubitRegister
+from repro.semantics.classical import (
+    Distribution,
+    LiftedProgram,
+    RelationalProgram,
+    distributions_equal,
+    lifted_compose,
+    relational_compose,
+)
+from repro.semantics.denotational import apply_denotation, denotation
+
+REGISTER = QubitRegister(["q"])
+S_PROGRAM = ndet(Skip(), Unitary(("q",), "X", X))
+
+
+def _lifted_outputs(decomposition):
+    """Mix the branch outputs of S over a pure-state decomposition of I/2."""
+    outputs = set()
+    branches = [apply_denotation(S_PROGRAM, density(state), REGISTER) for state in decomposition]
+    for first in branches[0]:
+        for second in branches[1]:
+            mixed = 0.5 * first + 0.5 * second
+            outputs.add(tuple(np.round(mixed.flatten(), 6)))
+    return outputs
+
+
+def test_pure_state_semantics_is_ill_defined(benchmark):
+    """E5: the two decompositions of I/2 give different lifted pure-state outcomes."""
+
+    def run():
+        computational = _lifted_outputs([ket("0"), ket("1")])
+        hadamard = _lifted_outputs([plus_state(), minus_state()])
+        return computational, hadamard
+
+    computational, hadamard = benchmark(run)
+    assert computational != hadamard
+    assert len(hadamard) == 1
+    benchmark.extra_info["computational_outcomes"] = len(computational)
+    benchmark.extra_info["hadamard_outcomes"] = len(hadamard)
+    benchmark.extra_info["paper_claim"] = "Example 3.3: pure-state lifting is not well defined"
+
+
+def test_mixed_state_semantics_is_decomposition_independent(benchmark):
+    """E5 (control): the mixed-state semantics maps I/2 to {I/2} only."""
+    outputs = benchmark(lambda: apply_denotation(S_PROGRAM, maximally_mixed(1), REGISTER))
+    assert all(operators_close(output, maximally_mixed(1)) for output in outputs)
+
+
+def test_relational_composition_breaks_compositionality(benchmark):
+    """E6 (quantum): per-ensemble resolution distinguishes T;S from T±;S."""
+
+    def run():
+        computational = set()
+        for branch_zero in apply_denotation(S_PROGRAM, 0.5 * density(ket("0")), REGISTER):
+            for branch_one in apply_denotation(S_PROGRAM, 0.5 * density(ket("1")), REGISTER):
+                computational.add(tuple(np.round((branch_zero + branch_one).flatten(), 6)))
+        hadamard = set()
+        for branch_plus in apply_denotation(S_PROGRAM, 0.5 * density(plus_state()), REGISTER):
+            for branch_minus in apply_denotation(S_PROGRAM, 0.5 * density(minus_state()), REGISTER):
+                hadamard.add(tuple(np.round((branch_plus + branch_minus).flatten(), 6)))
+        return computational, hadamard
+
+    computational, hadamard = benchmark(run)
+    assert computational != hadamard
+    benchmark.extra_info["relational_T_outputs"] = len(computational)
+    benchmark.extra_info["relational_Tpm_outputs"] = len(hadamard)
+    benchmark.extra_info["paper_claim"] = "Example 3.4: [[T;S]]_r ≠ [[T±;S]]_r although [[T]]_r = [[T±]]_r"
+
+
+def test_lifted_composition_is_compositional(benchmark):
+    """E6 (quantum, control): in the lifted model T;S and T±;S stay indistinguishable."""
+    from repro.language.ast import Init
+
+    # T  = q := 0; q *= H; measure q   — prepares the ensemble (|0⟩:½, |1⟩:½);
+    # T± = q := 0; measure± q          — prepares the ensemble (|+⟩:½, |−⟩:½).
+    t_then_s = seq(Init(("q",)), Unitary(("q",), "H", H), measure(("q",)), S_PROGRAM)
+    t_pm_then_s = seq(Init(("q",)), measure(("q",), MEAS_PLUS_MINUS), S_PROGRAM)
+
+    def run():
+        rho = density(ket("0"))
+        first = [channel.apply(rho) for channel in denotation(t_then_s, REGISTER)]
+        second = [channel.apply(rho) for channel in denotation(t_pm_then_s, REGISTER)]
+        return first, second
+
+    first, second = benchmark(run)
+    for output in first + second:
+        assert operators_close(output, maximally_mixed(1))
+
+
+def test_classical_relational_model_is_compositional(benchmark):
+    """E6 (classical control): classically the relational model has no such problem,
+    because a distribution over classical states has a unique decomposition."""
+    half = Distribution.from_dict({0: 0.5, 1: 0.5})
+    coin = RelationalProgram("coin", lambda state: [half])
+    id_or_flip = RelationalProgram(
+        "id_or_flip", lambda state: [Distribution.point(state), Distribution.point(1 - state)]
+    )
+    lifted_coin = LiftedProgram("coin", (lambda s: half,))
+    lifted_choice = LiftedProgram(
+        "id_or_flip", (lambda s: Distribution.point(s), lambda s: Distribution.point(1 - s))
+    )
+
+    def run():
+        relational = relational_compose(coin, id_or_flip).outputs(0)
+        lifted = lifted_compose(lifted_coin, lifted_choice).outputs(0)
+        return relational, lifted
+
+    relational, lifted = benchmark(run)
+    # Relationally the adversary may correlate with the coin (3 distinct outcomes);
+    # the lifted adversary cannot (1 outcome).  Both are legitimate classically —
+    # the paper's point is only that the *quantum* relational model is ill-behaved.
+    assert len(relational) == 3
+    assert all(distributions_equal(d, half) for d in lifted)
+    benchmark.extra_info["classical_relational_outcomes"] = len(relational)
+    benchmark.extra_info["classical_lifted_outcomes"] = len(lifted)

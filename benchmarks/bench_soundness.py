@@ -1,0 +1,108 @@
+"""Experiment E8 — soundness/completeness cross-validation (Theorems 4.1/4.2).
+
+Every formula the prover derives is re-checked against the denotational
+semantics on a family of input states, and on loop-free programs the computed
+verification condition is compared with the exact weakest (liberal)
+precondition — the numerical counterpart of relative completeness.
+"""
+
+import numpy as np
+import pytest
+
+from repro.language.ast import (
+    Abort,
+    If,
+    Init,
+    MEAS_COMPUTATIONAL,
+    Skip,
+    Unitary,
+    ndet,
+    seq,
+)
+from repro.linalg.constants import H, X, Z
+from repro.linalg.random import random_predicate_matrix
+from repro.logic.formula import CorrectnessFormula, CorrectnessMode
+from repro.logic.prover import verify_formula
+from repro.logic.semantic_check import check_formula_semantically
+from repro.predicates.assertion import QuantumAssertion
+from repro.registers import QubitRegister
+from repro.semantics.wp import weakest_liberal_precondition, weakest_precondition
+
+REGISTER = QubitRegister(["q"])
+
+#: A fixed pool of structurally diverse loop-free programs.
+PROGRAM_POOL = [
+    seq(Init(("q",)), Unitary(("q",), "H", H)),
+    ndet(Skip(), Unitary(("q",), "X", X)),
+    seq(ndet(Unitary(("q",), "H", H), Unitary(("q",), "Z", Z)), If(MEAS_COMPUTATIONAL, ("q",), Unitary(("q",), "X", X), Skip())),
+    If(MEAS_COMPUTATIONAL, ("q",), ndet(Skip(), Abort()), Unitary(("q",), "H", H)),
+    seq(Init(("q",)), ndet(Skip(), Unitary(("q",), "X", X)), If(MEAS_COMPUTATIONAL, ("q",), Abort(), Skip())),
+]
+
+
+def _random_formula(index: int, mode: CorrectnessMode) -> CorrectnessFormula:
+    program = PROGRAM_POOL[index % len(PROGRAM_POOL)]
+    post = QuantumAssertion([random_predicate_matrix(2, seed=100 + index)])
+    pre = QuantumAssertion([random_predicate_matrix(2, seed=200 + index).dot(np.eye(2)) * 0.0 + 0.0 * np.eye(2)])
+    return CorrectnessFormula(pre, program, post, mode)
+
+
+def test_soundness_sweep_partial(benchmark):
+    """Every prover-validated partial-correctness formula holds semantically."""
+
+    def run():
+        agreements = 0
+        for index in range(len(PROGRAM_POOL)):
+            formula = _random_formula(index, CorrectnessMode.PARTIAL)
+            report = verify_formula(formula, REGISTER)
+            assert report.verified  # precondition {0} is always entailed
+            semantic = check_formula_semantically(
+                CorrectnessFormula(
+                    report.verification_condition, formula.program, formula.postcondition, formula.mode
+                ),
+                REGISTER,
+                samples=3,
+            )
+            agreements += semantic.holds
+        return agreements
+
+    agreements = benchmark(run)
+    assert agreements == len(PROGRAM_POOL)
+    benchmark.extra_info["programs_checked"] = len(PROGRAM_POOL)
+
+
+def test_soundness_sweep_total(benchmark):
+    """Same sweep for total correctness: the VC (= wp) must hold semantically."""
+
+    def run():
+        agreements = 0
+        for index in range(len(PROGRAM_POOL)):
+            program = PROGRAM_POOL[index % len(PROGRAM_POOL)]
+            post = QuantumAssertion([random_predicate_matrix(2, seed=300 + index)])
+            wp = weakest_precondition(program, post, REGISTER)
+            formula = CorrectnessFormula(wp, program, post, CorrectnessMode.TOTAL)
+            report = verify_formula(formula, REGISTER)
+            semantic = check_formula_semantically(formula, REGISTER, samples=3)
+            agreements += report.verified and semantic.holds
+        return agreements
+
+    agreements = benchmark(run)
+    assert agreements == len(PROGRAM_POOL)
+
+
+def test_completeness_on_loop_free_programs(benchmark):
+    """The generated VC coincides with the exact wlp on loop-free programs."""
+
+    def run():
+        matches = 0
+        for index, program in enumerate(PROGRAM_POOL):
+            post = QuantumAssertion([random_predicate_matrix(2, seed=400 + index)])
+            formula = CorrectnessFormula(QuantumAssertion.zero(1), program, post, CorrectnessMode.PARTIAL)
+            report = verify_formula(formula, REGISTER)
+            expected = weakest_liberal_precondition(program, post, REGISTER)
+            matches += report.verification_condition.set_equal(expected)
+        return matches
+
+    matches = benchmark(run)
+    assert matches == len(PROGRAM_POOL)
+    benchmark.extra_info["paper_claim"] = "relative completeness (Theorem 4.1), numerically on loop-free programs"

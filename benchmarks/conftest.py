@@ -1,0 +1,9 @@
+"""Shared configuration for the benchmark harness.
+
+Each ``bench_*.py`` module regenerates one experiment of ``EXPERIMENTS.md``
+(see the experiment index in ``DESIGN.md``).  All benchmarks assert the
+qualitative claim of the corresponding experiment in addition to timing it, so
+``pytest benchmarks/ --benchmark-only`` doubles as a reproduction run.
+"""
+
+collect_ignore_glob: list = []

@@ -1,0 +1,70 @@
+"""Case study: three-qubit error-correction codes as nondeterministic programs.
+
+Reproduces Sec. 5.1 of the paper (the bit-flip code of Example 3.1 / Eq. (13))
+and its phase-flip extension: the unknown single-qubit error is modelled as a
+demonic nondeterministic choice, and the Hoare-logic prover certifies that the
+data qubit is restored perfectly under *every* resolution of that choice.
+
+Run with:  python examples/error_correction.py
+"""
+
+import numpy as np
+
+from repro import CorrectnessMode, check_formula_semantically, verify_formula
+from repro.linalg.operators import operators_close
+from repro.linalg.states import density, ket, state_from_amplitudes
+from repro.programs.errcorr import errcorr_formula, errcorr_program, errcorr_register
+from repro.programs.phaseflip import phaseflip_formula
+from repro.semantics.denotational import DenotationOptions, apply_denotation
+
+
+def show_branch_behaviour() -> None:
+    """Example 3.2: apply all four noise branches to an encoded state."""
+    register = errcorr_register()
+    program = errcorr_program()
+    psi = state_from_amplitudes([0.6, 0.8j])
+    joint_input = np.kron(density(psi), density(ket("00")))
+
+    print("Denotational check (Example 3.2): one output per noise branch")
+    outputs = apply_denotation(program, joint_input, register, DenotationOptions(dedup=False))
+    labels = ["no error", "flip data qubit q", "flip ancilla q1", "flip ancilla q2"]
+    for label, output in zip(labels, outputs):
+        recovered = register.reduce(output, ["q"])
+        fidelity_ok = operators_close(recovered, density(psi))
+        print(f"  {label:22s}: data qubit restored = {fidelity_ok}")
+    print()
+
+
+def verify_bit_flip_code() -> None:
+    """Eq. (13): ⊨_tot {[ψ]_q} ErrCorr {[ψ]_q} for several encoded states ψ."""
+    print("Hoare-logic verification of the bit-flip code (Eq. 13)")
+    test_amplitudes = [(1.0, 0.0), (0.0, 1.0), (0.6, 0.8), (1 / np.sqrt(2), 1j / np.sqrt(2))]
+    for alpha0, alpha1 in test_amplitudes:
+        formula, register = errcorr_formula(alpha0, alpha1, mode=CorrectnessMode.TOTAL)
+        report = verify_formula(formula, register)
+        semantic = check_formula_semantically(formula, register, samples=2)
+        print(
+            f"  ψ = {alpha0:+.2f}|0⟩ {alpha1:+.2f}|1⟩ : "
+            f"proof system = {report.verified}, semantic check = {semantic.holds}"
+        )
+    print()
+
+
+def verify_phase_flip_code() -> None:
+    """Extension: the phase-flip code obtained by conjugating with Hadamards."""
+    print("Extension: three-qubit phase-flip code")
+    formula, register = phaseflip_formula(0.6, 0.8)
+    report = verify_formula(formula, register)
+    print(f"  ⊨_tot {{[ψ]_q}} PhaseFlipCorr {{[ψ]_q}} : {report.verified}")
+    print(f"  proof rules used: {sorted(set(report.outline.rules_used()))}")
+    print()
+
+
+def main() -> None:
+    show_branch_behaviour()
+    verify_bit_flip_code()
+    verify_phase_flip_code()
+
+
+if __name__ == "__main__":
+    main()

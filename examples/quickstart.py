@@ -1,0 +1,86 @@
+"""Quickstart: build, run and verify a small nondeterministic quantum program.
+
+This example walks through the whole public API surface in a few minutes:
+
+1. build a program with the fluent builder (or parse it from text),
+2. inspect its lifted denotational semantics (a *set* of channels),
+3. state a correctness formula with quantum assertions,
+4. verify it with the Hoare-logic prover and cross-check it semantically.
+
+Run with:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    CorrectnessFormula,
+    CorrectnessMode,
+    ProgramBuilder,
+    QuantumAssertion,
+    QubitRegister,
+    check_formula_semantically,
+    denotation,
+    format_program,
+    parse_program,
+    verify_formula,
+)
+from repro.linalg.constants import H, P0, X
+from repro.linalg.states import density, ket
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ build
+    # A one-qubit program: reset, put into superposition, then either leave the
+    # qubit alone or flip it — the choice is demonic (made by an adversary).
+    program = (
+        ProgramBuilder()
+        .init("q")
+        .unitary(H, "q", name="H")
+        .ndet(lambda b: b.skip(), lambda b: b.unitary(X, "q", name="X"))
+        .build()
+    )
+    print("Program:")
+    print(format_program(program))
+    print()
+
+    # The same program can be written in the NQPV-style surface syntax.
+    parsed = parse_program("[q] := 0; [q] *= H; ( skip # [q] *= X )")
+    assert parsed == program
+
+    # -------------------------------------------------------------- semantics
+    register = QubitRegister(["q"])
+    channels = denotation(program, register)
+    print(f"The lifted semantics contains {len(channels)} super-operator(s).")
+    for index, channel in enumerate(channels):
+        output = channel.apply(density(ket("0")))
+        print(f"  branch {index}: |0⟩ ↦ diag{np.round(np.diag(output).real, 3)}")
+    print()
+
+    # ------------------------------------------------------------ verification
+    # Claim: no matter how the adversary resolves the choice, measuring the
+    # qubit afterwards yields |0⟩ with probability at least 1/2.
+    precondition = QuantumAssertion([0.5 * np.eye(2)], name="half")
+    postcondition = QuantumAssertion([P0], name="P0")
+    formula = CorrectnessFormula(precondition, program, postcondition, CorrectnessMode.TOTAL)
+
+    report = verify_formula(formula, register)
+    print(f"{{½·I}} program {{P0}} verified by the proof system: {report.verified}")
+    print("Proof outline:")
+    print(report.outline.render())
+    print()
+
+    # ------------------------------------------------- semantic cross-checking
+    semantic = check_formula_semantically(formula, register)
+    print(f"Semantic spot-check on {semantic.states_checked} states: holds = {semantic.holds}")
+    print(f"Worst margin observed: {semantic.margin:.3e}")
+
+    # A stronger claim fails — the adversary can always flip the qubit.
+    too_strong = CorrectnessFormula(
+        QuantumAssertion([np.eye(2)], name="I"), program, postcondition, CorrectnessMode.TOTAL
+    )
+    failing = verify_formula(too_strong, register)
+    print(f"{{I}} program {{P0}} verified: {failing.verified}  (expected False)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Termination and refinement analyses (S14)."""
+
+from .refinement import RefinementReport, check_refinement, transfer_formula
+from .termination import (
+    TerminationReport,
+    loop_termination_curve,
+    termination_probability,
+    termination_report,
+)
+
+__all__ = [
+    "RefinementReport",
+    "check_refinement",
+    "transfer_formula",
+    "TerminationReport",
+    "loop_termination_curve",
+    "termination_probability",
+    "termination_report",
+]

@@ -1,0 +1,66 @@
+"""Refinement checking (the future-work direction sketched in Sec. 7).
+
+Nondeterminism exists in the language precisely to support stepwise refinement:
+a specification may leave choices open, and an implementation resolves some of
+them.  In the lifted model this is denotation-set inclusion, and — thanks to
+Lemma A.3 — refinement also transfers every correctness formula from the
+specification to the implementation.  This module provides both views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..language.ast import Program
+from ..logic.formula import CorrectnessFormula
+from ..logic.semantic_check import SemanticCheckResult, check_formula_semantically
+from ..registers import QubitRegister
+from ..semantics.denotational import DenotationOptions
+from ..semantics.equivalence import common_register, program_refines
+
+__all__ = ["RefinementReport", "check_refinement", "transfer_formula"]
+
+
+@dataclass
+class RefinementReport:
+    """Result of a refinement check between an implementation and a specification."""
+
+    refines: bool
+    register: QubitRegister
+    messages: List[str]
+
+
+def check_refinement(
+    implementation: Program,
+    specification: Program,
+    options: Optional[DenotationOptions] = None,
+) -> RefinementReport:
+    """Check ``[[implementation]] ⊆ [[specification]]`` over the common register."""
+    register = common_register(implementation, specification)
+    holds = program_refines(implementation, specification, options)
+    messages = [
+        "every behaviour of the implementation is allowed by the specification"
+        if holds
+        else "the implementation exhibits a behaviour the specification does not allow"
+    ]
+    return RefinementReport(refines=holds, register=register, messages=messages)
+
+
+def transfer_formula(
+    formula: CorrectnessFormula,
+    implementation: Program,
+    options: Optional[DenotationOptions] = None,
+    samples: int = 6,
+) -> SemanticCheckResult:
+    """Check (by sampling) that a formula proved for the specification holds for a refinement.
+
+    If ``implementation`` refines ``formula.program`` then the transferred
+    formula is guaranteed to hold; this helper re-checks it semantically, which
+    is useful both as a sanity check and as a counterexample generator when the
+    refinement claim is false.
+    """
+    transferred = CorrectnessFormula(
+        formula.precondition, implementation, formula.postcondition, formula.mode
+    )
+    return check_formula_semantically(transferred, samples=samples, options=options)

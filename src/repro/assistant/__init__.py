@@ -1,0 +1,14 @@
+"""Proof-assistant front end (S11): sessions, the ``verify`` API and the CLI."""
+
+from .session import ProofTerm, Session
+from .verify import VerificationTask, build_task, resolve_assertion, verify, verify_source
+
+__all__ = [
+    "ProofTerm",
+    "Session",
+    "VerificationTask",
+    "build_task",
+    "resolve_assertion",
+    "verify",
+    "verify_source",
+]

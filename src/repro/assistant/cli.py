@@ -1,0 +1,112 @@
+"""Command-line entry point: ``nqpv-verify <file>``.
+
+The input file may contain either a raw annotated program (precondition,
+program with ``inv:`` annotations, postcondition) or a command script using
+``def``/``proof``/``show``.  Additional operators can be supplied as ``.npy``
+files via ``--operator NAME=path``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+from ..exceptions import ReproError
+from ..logic.formula import CorrectnessMode
+from ..logic.prover import ProverOptions
+from .session import Session
+from .verify import verify_source
+
+__all__ = ["build_arg_parser", "main"]
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    """Return the argument parser of the CLI."""
+    parser = argparse.ArgumentParser(
+        prog="nqpv-verify",
+        description="Verify nondeterministic quantum programs (reproduction of NQPV, ASPLOS'23).",
+    )
+    parser.add_argument("source", help="path to the annotated program or command script")
+    parser.add_argument(
+        "--operator",
+        action="append",
+        default=[],
+        metavar="NAME=PATH",
+        help="register an operator from a .npy file (repeatable)",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=["partial", "total"],
+        default="partial",
+        help="correctness mode (default: partial, as in the paper's prototype)",
+    )
+    parser.add_argument(
+        "--epsilon", type=float, default=1e-6, help="precision of the order decision procedure"
+    )
+    parser.add_argument(
+        "--script",
+        action="store_true",
+        help="treat the input as a def/proof/show command script instead of a single program",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="only print the verification verdict"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_arg_parser()
+    arguments = parser.parse_args(argv)
+
+    source_path = Path(arguments.source)
+    try:
+        source_text = source_path.read_text()
+    except OSError as error:
+        print(f"error: cannot read {source_path}: {error}", file=sys.stderr)
+        return 2
+
+    session = Session(
+        mode=CorrectnessMode(arguments.mode),
+        options=ProverOptions(epsilon=arguments.epsilon),
+        base_path=source_path.parent,
+    )
+    try:
+        for definition in arguments.operator:
+            name, _, path = definition.partition("=")
+            if not name or not path:
+                raise ReproError(f"invalid --operator value {definition!r}; expected NAME=PATH")
+            session.load(name, path)
+
+        if arguments.script:
+            outputs = session.run_script(source_text)
+            if not arguments.quiet:
+                for output in outputs:
+                    print(output)
+            failed = any(proof.verified is False for proof in session.proofs.values())
+            print("verification:", "FAILED" if failed else "OK")
+            return 1 if failed else 0
+
+        report = verify_source(
+            source_text,
+            session.environment,
+            mode=session.mode,
+            options=session.options,
+        )
+        if not arguments.quiet:
+            print(report.outline.render())
+            for message in report.messages:
+                print("//", message)
+        print("verification:", "OK" if report.verified else "FAILED")
+        return 0 if report.verified else 1
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,224 @@
+"""Interactive/scripted proof-assistant sessions (the NQPV front end, Sec. 6).
+
+A :class:`Session` holds an operator environment and a set of named terms
+(operators and proofs).  It accepts the small command language of the paper's
+prototype::
+
+    def invN := load "invN.npy" end
+    def pf := proof [q1 q2] :
+        { I[q1] };
+        [q1 q2] := 0;
+        { inv: invN[q1 q2] };
+        while MQWalk [q1 q2] do
+            ( [q1 q2] *= W1 ; [q1 q2] *= W2
+            # [q1 q2] *= W2 ; [q1 q2] *= W1 )
+        end;
+        { Zero[q1] }
+    end
+    show pf end
+
+``show`` returns the generated proof outline (or the matrix of an operator),
+mirroring the behaviour described in Sec. 6.1–6.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from ..exceptions import AssistantError, ParseError
+from ..language.lexer import Token, tokenize
+from ..language.names import OperatorEnvironment, default_environment
+from ..logic.formula import CorrectnessMode
+from ..logic.prover import ProverOptions, VerificationReport
+from ..registers import QubitRegister
+from .verify import verify_source
+
+__all__ = ["ProofTerm", "Session"]
+
+
+@dataclass
+class ProofTerm:
+    """A named proof: the declared register, the source body and the verification report."""
+
+    name: str
+    register: QubitRegister
+    source: str
+    report: VerificationReport
+
+    @property
+    def verified(self) -> bool:
+        """Whether the declared precondition was established."""
+        return self.report.verified
+
+    def outline(self) -> str:
+        """Render the generated proof outline."""
+        return self.report.outline.render()
+
+
+class Session:
+    """A proof-assistant session: operator definitions plus verified proof terms."""
+
+    def __init__(
+        self,
+        environment: Optional[OperatorEnvironment] = None,
+        mode: CorrectnessMode = CorrectnessMode.PARTIAL,
+        options: Optional[ProverOptions] = None,
+        base_path: Union[str, Path, None] = None,
+    ):
+        self.environment = environment or default_environment()
+        self.mode = mode
+        self.options = options or ProverOptions()
+        self.base_path = Path(base_path) if base_path is not None else Path.cwd()
+        self.proofs: Dict[str, ProofTerm] = {}
+        self.log: List[str] = []
+
+    # ----------------------------------------------------------- direct API
+    def define(self, name: str, matrix: np.ndarray) -> None:
+        """Register a named operator (e.g. a loop invariant) in the session."""
+        self.environment.define(name, matrix)
+        self.log.append(f"defined operator {name}")
+
+    def load(self, name: str, path: Union[str, Path]) -> None:
+        """Load an operator from a ``.npy`` file relative to the session's base path."""
+        full_path = Path(path)
+        if not full_path.is_absolute():
+            full_path = self.base_path / full_path
+        self.environment.load(name, full_path)
+        self.log.append(f"loaded operator {name} from {full_path}")
+
+    def verify_proof(self, name: str, register_qubits, source: str) -> ProofTerm:
+        """Verify a proof body over the declared register and store it under ``name``."""
+        register = QubitRegister(register_qubits)
+        report = verify_source(
+            source, self.environment, register=register, mode=self.mode, options=self.options
+        )
+        term = ProofTerm(name=name, register=register, source=source, report=report)
+        self.proofs[name] = term
+        self.log.append(
+            f"proof {name}: " + ("verified" if report.verified else "NOT verified")
+        )
+        return term
+
+    def show(self, name: str) -> str:
+        """Return the printable form of a proof outline or an operator matrix."""
+        if name in self.proofs:
+            return self.proofs[name].outline()
+        if name in self.environment:
+            return np.array_str(np.asarray(self.environment.operator(name)), precision=4)
+        raise AssistantError(f"unknown term {name!r}")
+
+    # --------------------------------------------------------- command script
+    def run_script(self, script: str) -> List[str]:
+        """Execute a command script (``def``/``show`` commands) and return the outputs."""
+        tokens = tokenize(script)
+        outputs: List[str] = []
+        index = 0
+
+        def peek(offset: int = 0) -> Token:
+            return tokens[min(index + offset, len(tokens) - 1)]
+
+        def advance() -> Token:
+            nonlocal index
+            token = tokens[index]
+            if token.kind != "EOF":
+                index += 1
+            return token
+
+        def expect(kind: str) -> Token:
+            token = peek()
+            if token.kind != kind:
+                raise ParseError(
+                    f"expected {kind} but found {token.kind} ({token.value!r})",
+                    token.line,
+                    token.column,
+                )
+            return advance()
+
+        while peek().kind != "EOF":
+            token = peek()
+            if token.kind == "DEF":
+                advance()
+                name_token = expect("ID")
+                expect("ASSIGN")
+                if peek().kind == "LOAD":
+                    advance()
+                    path_token = expect("STRING")
+                    expect("END")
+                    self.load(name_token.value, path_token.value)
+                    outputs.append(f"loaded {name_token.value}")
+                elif peek().kind == "PROOF":
+                    advance()
+                    register_qubits = self._parse_register(expect, peek, advance)
+                    expect("COLON")
+                    body_source, index = self._collect_proof_body(tokens, index)
+                    term = self.verify_proof(name_token.value, register_qubits, body_source)
+                    outputs.append(
+                        f"proof {name_token.value}: "
+                        + ("verified" if term.verified else "not verified")
+                    )
+                else:
+                    raise AssistantError("a definition must use 'load' or 'proof'")
+            elif token.kind == "SHOW":
+                advance()
+                name_token = expect("ID")
+                expect("END")
+                outputs.append(self.show(name_token.value))
+            else:
+                raise ParseError(
+                    f"unexpected command token {token.value!r}", token.line, token.column
+                )
+        return outputs
+
+    @staticmethod
+    def _parse_register(expect, peek, advance) -> List[str]:
+        expect("LBRACKET")
+        names: List[str] = []
+        while peek().kind != "RBRACKET":
+            names.append(expect("ID").value)
+            if peek().kind == "COMMA":
+                advance()
+        expect("RBRACKET")
+        return names
+
+    @staticmethod
+    def _collect_proof_body(tokens: List[Token], index: int):
+        """Collect the raw proof-body tokens up to the matching top-level ``end``.
+
+        Nested ``if``/``while`` blocks contribute their own ``end`` keywords, so a
+        depth counter tracks block structure.
+        """
+        depth = 0
+        collected: List[Token] = []
+        while index < len(tokens):
+            token = tokens[index]
+            if token.kind in {"IF", "WHILE"}:
+                depth += 1
+            elif token.kind == "END":
+                if depth == 0:
+                    index += 1
+                    break
+                depth -= 1
+            elif token.kind == "EOF":
+                raise ParseError("unterminated proof definition", token.line, token.column)
+            collected.append(token)
+            index += 1
+        source = _tokens_to_source(collected)
+        return source, index
+
+
+def _tokens_to_source(tokens: List[Token]) -> str:
+    """Re-serialise a token slice into parseable source text."""
+    parts: List[str] = []
+    keywords = {"IF", "THEN", "ELSE", "END", "WHILE", "DO", "SKIP", "ABORT", "INV"}
+    for token in tokens:
+        if token.kind == "STRING":
+            parts.append(f'"{token.value}"')
+        elif token.kind in keywords:
+            parts.append(token.value)
+        else:
+            parts.append(token.value)
+    return " ".join(parts)

@@ -1,0 +1,138 @@
+"""High-level ``verify`` API: from annotated source text to a verification report.
+
+This is the programmatic equivalent of running the NQPV prototype on a
+``.nqpv`` file: the source contains a program, an optional precondition, a
+postcondition and an ``inv:`` annotation for every while loop; operators are
+resolved against an :class:`~repro.language.names.OperatorEnvironment`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import AssistantError
+from ..language.names import OperatorEnvironment, default_environment
+from ..language.parser import AnnotatedProgram, AssertionSpec, parse_annotated_program
+from ..logic.formula import CorrectnessFormula, CorrectnessMode
+from ..logic.prover import ProverOptions, VerificationReport, verify_formula
+from ..predicates.assertion import QuantumAssertion
+from ..predicates.predicate import QuantumPredicate
+from ..registers import QubitRegister
+
+__all__ = ["VerificationTask", "resolve_assertion", "verify_source", "verify"]
+
+
+@dataclass
+class VerificationTask:
+    """A fully-resolved verification task ready to be handed to the prover."""
+
+    formula: CorrectnessFormula
+    register: QubitRegister
+    invariants: Dict[int, QuantumAssertion]
+    annotated: AnnotatedProgram
+
+
+def resolve_assertion(
+    spec: AssertionSpec,
+    register: QubitRegister,
+    environment: OperatorEnvironment,
+    name: Optional[str] = None,
+) -> QuantumAssertion:
+    """Turn a syntactic assertion (set of ``NAME[q …]`` terms) into a :class:`QuantumAssertion`.
+
+    Every predicate is embedded from its declared qubits into the full
+    ``register`` (the cylinder-extension convention of Sec. 2).
+    """
+    predicates = []
+    for term in spec.terms:
+        matrix = environment.predicate(term.name, num_qubits=len(term.qubits))
+        predicate = QuantumPredicate(matrix, name=term.name)
+        predicates.append(predicate.embed(term.qubits, register))
+    label = name or " ".join(str(term) for term in spec.terms)
+    return QuantumAssertion(predicates, name=label)
+
+
+def build_task(
+    source: str,
+    environment: Optional[OperatorEnvironment] = None,
+    register: Optional[QubitRegister | Sequence[str]] = None,
+    mode: CorrectnessMode = CorrectnessMode.PARTIAL,
+) -> VerificationTask:
+    """Parse and resolve an annotated source text into a :class:`VerificationTask`."""
+    environment = environment or default_environment()
+    annotated = parse_annotated_program(source, environment)
+    program = annotated.program
+
+    if register is None:
+        names = set(program.quantum_variables())
+        for spec in annotated.annotations:
+            for term in spec.terms:
+                names.update(term.qubits)
+        register = QubitRegister(sorted(names))
+    elif not isinstance(register, QubitRegister):
+        register = QubitRegister(register)
+
+    if annotated.postcondition is None:
+        raise AssistantError("the source must end with a postcondition annotation '{ ... }'")
+    postcondition = resolve_assertion(annotated.postcondition, register, environment)
+    if annotated.precondition is not None:
+        precondition = resolve_assertion(annotated.precondition, register, environment)
+    else:
+        # When no precondition is declared the tool reports the computed weakest
+        # precondition; {0} is trivially entailed by anything, so verification
+        # of the formula itself cannot fail spuriously.
+        precondition = QuantumAssertion.zero(register.num_qubits)
+
+    invariants: Dict[int, QuantumAssertion] = {}
+    for loop_id, spec in annotated.loop_invariants.items():
+        invariants[loop_id] = resolve_assertion(spec, register, environment, name="inv")
+
+    formula = CorrectnessFormula(precondition, program, postcondition, mode)
+    return VerificationTask(
+        formula=formula, register=register, invariants=invariants, annotated=annotated
+    )
+
+
+def verify_source(
+    source: str,
+    environment: Optional[OperatorEnvironment] = None,
+    register: Optional[QubitRegister | Sequence[str]] = None,
+    mode: CorrectnessMode = CorrectnessMode.PARTIAL,
+    options: Optional[ProverOptions] = None,
+) -> VerificationReport:
+    """Verify an annotated source text and return the full report."""
+    task = build_task(source, environment, register, mode)
+    return verify_formula(task.formula, task.register, task.invariants, options)
+
+
+def verify(
+    source: str,
+    operators: Optional[Dict[str, np.ndarray]] = None,
+    mode: str = "partial",
+    epsilon: float = 1e-6,
+) -> VerificationReport:
+    """Convenience wrapper mirroring ``nqpv.verify``: source text plus extra operators.
+
+    Parameters
+    ----------
+    source:
+        Annotated program text (precondition, program with ``inv:`` annotations,
+        postcondition).
+    operators:
+        Additional named operators (numpy matrices) to add to the default
+        environment — typically loop invariants and custom unitaries.
+    mode:
+        ``"partial"`` (the default, as in NQPV) or ``"total"``.
+    epsilon:
+        Precision of the ``⊑_inf`` decision procedure.
+    """
+    environment = default_environment()
+    for name, matrix in (operators or {}).items():
+        environment.define(name, matrix)
+    correctness_mode = CorrectnessMode(mode)
+    return verify_source(
+        source, environment, mode=correctness_mode, options=ProverOptions(epsilon=epsilon)
+    )

@@ -1,0 +1,106 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-specific errors derive from :class:`ReproError` so that callers can
+catch any error raised by the package with a single ``except`` clause, while
+still being able to distinguish between the major failure classes (malformed
+linear-algebra objects, syntax errors in the surface language, failed proof
+obligations, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class LinalgError(ReproError):
+    """A linear-algebra object does not satisfy a required structural property.
+
+    Raised for instance when a matrix expected to be unitary, hermitian or a
+    (partial) density operator fails the corresponding check, or when operator
+    dimensions are incompatible.
+    """
+
+
+class DimensionMismatchError(LinalgError):
+    """Two objects that must act on the same Hilbert space have different dimensions."""
+
+
+class RegisterError(ReproError):
+    """Invalid use of a qubit register (unknown qubit, duplicated qubit, ...)."""
+
+
+class SuperOperatorError(ReproError):
+    """A super-operator violates a required property (e.g. not trace non-increasing)."""
+
+
+class PredicateError(ReproError):
+    """A matrix used as a quantum predicate is not hermitian or not between 0 and I."""
+
+
+class AssertionFormatError(ReproError):
+    """A quantum assertion is malformed (empty set, mismatched dimensions, ...)."""
+
+
+class ParseError(ReproError):
+    """The surface-language source text could not be parsed.
+
+    Attributes
+    ----------
+    line, column:
+        1-based position of the offending token when available.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" (line {line}" + (f", column {column}" if column is not None else "") + ")"
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class NameResolutionError(ReproError):
+    """An identifier used in a program or proof does not resolve to a known operator."""
+
+
+class SemanticsError(ReproError):
+    """The denotational or wp semantics cannot be computed for the given input."""
+
+
+class SchedulerError(SemanticsError):
+    """A scheduler does not produce elements of the loop body's denotation."""
+
+
+class VerificationError(ReproError):
+    """Base class for verification failures."""
+
+
+class InvalidProofError(VerificationError):
+    """A proof rule was applied with premises that do not justify its conclusion."""
+
+
+class InvariantError(VerificationError):
+    """A user-supplied loop invariant is not a valid invariant for its loop."""
+
+
+class OrderRelationError(VerificationError):
+    """A required ``⊑_inf`` relation between assertions does not hold.
+
+    Mirrors the ``Order relation not satisfied`` error reported by the NQPV
+    prototype (Sec. 6.2 of the paper).
+    """
+
+    def __init__(self, message: str, witness=None):
+        super().__init__(message)
+        #: optional density operator witnessing the violation
+        self.witness = witness
+
+
+class RankingError(VerificationError):
+    """A candidate ranking assertion violates one of the conditions of Definition 4.3."""
+
+
+class AssistantError(ReproError):
+    """Errors raised by the proof-assistant front end (bad term definitions, I/O, ...)."""

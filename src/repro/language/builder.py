@@ -1,0 +1,116 @@
+"""A fluent builder for constructing programs directly from Python.
+
+The builder mirrors the surface syntax but avoids going through text, which is
+convenient in the examples, the program library and the property-based tests::
+
+    program = (
+        ProgramBuilder()
+        .init("q1", "q2")
+        .unitary(H, "q1", name="H")
+        .ndet(lambda b: b.skip(), lambda b: b.unitary(X, "q", name="X"))
+        .build()
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..exceptions import SemanticsError
+from .ast import (
+    If,
+    Init,
+    MEAS_COMPUTATIONAL,
+    Measurement,
+    Program,
+    Skip,
+    Abort,
+    Unitary,
+    While,
+    ndet,
+    seq,
+)
+
+__all__ = ["ProgramBuilder"]
+
+
+class ProgramBuilder:
+    """Accumulates statements and produces a :class:`~repro.language.ast.Program`."""
+
+    def __init__(self):
+        self._statements: list[Program] = []
+
+    # -------------------------------------------------------------- statements
+    def skip(self) -> "ProgramBuilder":
+        """Append a ``skip`` statement."""
+        self._statements.append(Skip())
+        return self
+
+    def abort(self) -> "ProgramBuilder":
+        """Append an ``abort`` statement."""
+        self._statements.append(Abort())
+        return self
+
+    def init(self, *qubits: str) -> "ProgramBuilder":
+        """Append ``q̄ := 0`` for the listed qubits."""
+        self._statements.append(Init(tuple(qubits)))
+        return self
+
+    def unitary(self, matrix: np.ndarray, *qubits: str, name: str = "U") -> "ProgramBuilder":
+        """Append ``q̄ *= U`` applying ``matrix`` to the listed qubits."""
+        self._statements.append(Unitary(tuple(qubits), name, matrix))
+        return self
+
+    def statement(self, statement: Program) -> "ProgramBuilder":
+        """Append an already-constructed statement."""
+        self._statements.append(statement)
+        return self
+
+    # ------------------------------------------------------------- combinators
+    def ndet(self, *branch_builders: Callable[["ProgramBuilder"], "ProgramBuilder"]) -> "ProgramBuilder":
+        """Append a nondeterministic choice between the programs built by each callable."""
+        if len(branch_builders) < 2:
+            raise SemanticsError("a nondeterministic choice needs at least two branches")
+        branches = [builder(ProgramBuilder()).build() for builder in branch_builders]
+        self._statements.append(ndet(*branches))
+        return self
+
+    def if_measure(
+        self,
+        qubits: Sequence[str],
+        then: Callable[["ProgramBuilder"], "ProgramBuilder"],
+        orelse: Callable[["ProgramBuilder"], "ProgramBuilder"] | None = None,
+        measurement: Measurement = MEAS_COMPUTATIONAL,
+    ) -> "ProgramBuilder":
+        """Append ``if M[q̄] then … else … end`` (the else-branch defaults to ``skip``)."""
+        then_branch = then(ProgramBuilder()).build()
+        else_branch = orelse(ProgramBuilder()).build() if orelse is not None else Skip()
+        self._statements.append(If(measurement, tuple(qubits), then_branch, else_branch))
+        return self
+
+    def while_measure(
+        self,
+        qubits: Sequence[str],
+        body: Callable[["ProgramBuilder"], "ProgramBuilder"],
+        measurement: Measurement = MEAS_COMPUTATIONAL,
+    ) -> "ProgramBuilder":
+        """Append ``while M[q̄] do … end``."""
+        loop_body = body(ProgramBuilder()).build()
+        self._statements.append(While(measurement, tuple(qubits), loop_body))
+        return self
+
+    def measure(
+        self, qubits: Sequence[str], measurement: Measurement = MEAS_COMPUTATIONAL
+    ) -> "ProgramBuilder":
+        """Append the ``measure q̄`` sugar (a conditional with two ``skip`` branches)."""
+        self._statements.append(If(measurement, tuple(qubits), Skip(), Skip()))
+        return self
+
+    # ------------------------------------------------------------------- build
+    def build(self) -> Program:
+        """Return the accumulated program (an empty builder yields ``skip``)."""
+        if not self._statements:
+            return Skip()
+        return seq(*self._statements)

@@ -1,0 +1,334 @@
+"""Recursive-descent parser for the NQPV-style surface language.
+
+Two entry points are provided:
+
+* :func:`parse_program` — parses a plain nondeterministic quantum program into
+  the AST of :mod:`repro.language.ast`;
+* :func:`parse_annotated_program` — parses a program interleaved with assertion
+  annotations ``{ N[q1 q2] ... }`` and loop-invariant annotations
+  ``{ inv: N[q1 q2] }``, returning the program together with the declared
+  precondition, postcondition and per-loop invariants.  This is the input
+  format consumed by the proof assistant (Sec. 6.1 of the paper).
+
+Grammar (EBNF) ::
+
+    program      ::= item (';' item)*
+    item         ::= annotation | statement
+    statement    ::= 'skip' | 'abort'
+                   | qlist ':=' '0'
+                   | qlist '*=' ID
+                   | '(' choice ')'
+                   | 'if' ID qlist 'then' program ['else' program] 'end'
+                   | 'while' ID qlist 'do' program 'end'
+    choice       ::= program ('#' program)+
+    qlist        ::= '[' ID+ ']'        (commas between names are optional)
+    annotation   ::= '{' ['inv' ':'] predterm+ '}'
+    predterm     ::= ID qlist
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import ParseError
+from .ast import If, Init, Program, Skip, Abort, Unitary, While, ndet, seq
+from .lexer import Token, tokenize
+from .names import OperatorEnvironment, default_environment
+
+__all__ = [
+    "PredicateTerm",
+    "AssertionSpec",
+    "AnnotatedProgram",
+    "parse_program",
+    "parse_annotated_program",
+]
+
+
+@dataclass(frozen=True)
+class PredicateTerm:
+    """A named predicate applied to a list of qubits, e.g. ``P0[q1]``."""
+
+    name: str
+    qubits: Tuple[str, ...]
+
+    def __str__(self) -> str:
+        return f"{self.name}[{' '.join(self.qubits)}]"
+
+
+@dataclass(frozen=True)
+class AssertionSpec:
+    """A syntactic assertion: a set of predicate terms, possibly a loop invariant."""
+
+    terms: Tuple[PredicateTerm, ...]
+    is_invariant: bool = False
+
+    def __str__(self) -> str:
+        prefix = "inv: " if self.is_invariant else ""
+        return "{ " + prefix + " ".join(str(term) for term in self.terms) + " }"
+
+
+@dataclass
+class AnnotatedProgram:
+    """A parsed program together with its declared specification.
+
+    Attributes
+    ----------
+    program:
+        The parsed :class:`~repro.language.ast.Program`.
+    precondition / postcondition:
+        Leading and trailing assertion annotations (``None`` when omitted; the
+        assistant then computes the weakest precondition instead).
+    loop_invariants:
+        Mapping from ``id(while_node)`` to the invariant annotation written
+        immediately before that loop.
+    annotations:
+        Every intermediate annotation in source order (for display purposes).
+    """
+
+    program: Program
+    precondition: Optional[AssertionSpec] = None
+    postcondition: Optional[AssertionSpec] = None
+    loop_invariants: Dict[int, AssertionSpec] = field(default_factory=dict)
+    annotations: List[AssertionSpec] = field(default_factory=list)
+
+
+class _Parser:
+    """Token-stream cursor with the usual helpers of a recursive-descent parser."""
+
+    def __init__(self, tokens: Sequence[Token], environment: OperatorEnvironment):
+        self._tokens = list(tokens)
+        self._position = 0
+        self._environment = environment
+
+    # ----------------------------------------------------------- token access
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self._position + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def advance(self) -> Token:
+        token = self.peek()
+        if token.kind != "EOF":
+            self._position += 1
+        return token
+
+    def expect(self, kind: str) -> Token:
+        token = self.peek()
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind} but found {token.kind} ({token.value!r})", token.line, token.column
+            )
+        return self.advance()
+
+    def at(self, kind: str) -> bool:
+        return self.peek().kind == kind
+
+    # ------------------------------------------------------------- components
+    def parse_qubit_list(self) -> Tuple[str, ...]:
+        self.expect("LBRACKET")
+        names: List[str] = []
+        while not self.at("RBRACKET"):
+            token = self.expect("ID")
+            names.append(token.value)
+            if self.at("COMMA"):
+                self.advance()
+        closing = self.expect("RBRACKET")
+        if not names:
+            raise ParseError("empty qubit list", closing.line, closing.column)
+        return tuple(names)
+
+    def parse_predicate_term(self) -> PredicateTerm:
+        token = self.expect("ID")
+        qubits = self.parse_qubit_list()
+        return PredicateTerm(token.value, qubits)
+
+    def parse_annotation(self) -> AssertionSpec:
+        self.expect("LBRACE")
+        is_invariant = False
+        if self.at("INV"):
+            self.advance()
+            self.expect("COLON")
+            is_invariant = True
+        terms: List[PredicateTerm] = []
+        while not self.at("RBRACE"):
+            terms.append(self.parse_predicate_term())
+        closing = self.expect("RBRACE")
+        if not terms:
+            raise ParseError("empty assertion annotation", closing.line, closing.column)
+        return AssertionSpec(tuple(terms), is_invariant=is_invariant)
+
+    # -------------------------------------------------------------- statements
+    def parse_statement(self, annotated: "_AnnotationCollector") -> Program:
+        token = self.peek()
+        if token.kind == "SKIP":
+            self.advance()
+            return Skip()
+        if token.kind == "ABORT":
+            self.advance()
+            return Abort()
+        if token.kind == "LBRACKET":
+            qubits = self.parse_qubit_list()
+            operator_token = self.peek()
+            if operator_token.kind == "ASSIGN":
+                self.advance()
+                number = self.expect("NUMBER")
+                if number.value != "0":
+                    raise ParseError("initialisation must assign 0", number.line, number.column)
+                return Init(qubits)
+            if operator_token.kind == "MUL_ASSIGN":
+                self.advance()
+                name_token = self.expect("ID")
+                matrix = self._environment.unitary(name_token.value, num_qubits=len(qubits))
+                return Unitary(qubits, name_token.value, matrix)
+            raise ParseError(
+                f"expected ':=' or '*=' after qubit list, found {operator_token.value!r}",
+                operator_token.line,
+                operator_token.column,
+            )
+        if token.kind == "LPAREN":
+            self.advance()
+            inner = self.parse_choice(annotated)
+            self.expect("RPAREN")
+            return inner
+        if token.kind == "IF":
+            return self.parse_if(annotated)
+        if token.kind == "WHILE":
+            return self.parse_while(annotated)
+        raise ParseError(f"unexpected token {token.value!r}", token.line, token.column)
+
+    def parse_if(self, annotated: "_AnnotationCollector") -> Program:
+        self.expect("IF")
+        name_token = self.expect("ID")
+        qubits = self.parse_qubit_list()
+        measurement = self._environment.measurement(name_token.value, num_qubits=len(qubits))
+        self.expect("THEN")
+        then_branch = self.parse_sequence(annotated, stop={"ELSE", "END"})
+        else_branch: Program = Skip()
+        if self.at("ELSE"):
+            self.advance()
+            else_branch = self.parse_sequence(annotated, stop={"END"})
+        self.expect("END")
+        return If(measurement, qubits, then_branch, else_branch)
+
+    def parse_while(self, annotated: "_AnnotationCollector") -> Program:
+        self.expect("WHILE")
+        name_token = self.expect("ID")
+        qubits = self.parse_qubit_list()
+        measurement = self._environment.measurement(name_token.value, num_qubits=len(qubits))
+        self.expect("DO")
+        body = self.parse_sequence(annotated, stop={"END"})
+        self.expect("END")
+        loop = While(measurement, qubits, body)
+        annotated.attach_pending_invariant(loop)
+        return loop
+
+    # --------------------------------------------------------------- sequences
+    def parse_sequence(self, annotated: "_AnnotationCollector", stop: set) -> Program:
+        """Parse ``item (';' item)*`` until a stop keyword, EOF or closing token."""
+        statements: List[Program] = []
+        stop = set(stop) | {"EOF", "RPAREN"}
+        while True:
+            if self.peek().kind in stop:
+                break
+            if self.at("LBRACE"):
+                annotation = self.parse_annotation()
+                annotated.record(annotation, len(statements) == 0 and not statements)
+            else:
+                statements.append(self.parse_statement(annotated))
+            if self.at("SEMICOLON"):
+                self.advance()
+                continue
+            break
+        if not statements:
+            return Skip()
+        return seq(*statements)
+
+    def parse_choice(self, annotated: "_AnnotationCollector") -> Program:
+        branches = [self.parse_sequence(annotated, stop={"HASH"})]
+        while self.at("HASH"):
+            self.advance()
+            branches.append(self.parse_sequence(annotated, stop={"HASH"}))
+        return ndet(*branches)
+
+
+class _AnnotationCollector:
+    """Book-keeping of assertion annotations encountered while parsing."""
+
+    def __init__(self):
+        self.annotations: List[AssertionSpec] = []
+        self.pending_invariant: Optional[AssertionSpec] = None
+        self.loop_invariants: Dict[int, AssertionSpec] = {}
+        self.statements_seen = 0
+
+    def record(self, annotation: AssertionSpec, at_start: bool) -> None:
+        self.annotations.append(annotation)
+        if annotation.is_invariant:
+            self.pending_invariant = annotation
+
+    def attach_pending_invariant(self, loop: While) -> None:
+        if self.pending_invariant is not None:
+            self.loop_invariants[id(loop)] = self.pending_invariant
+            self.pending_invariant = None
+
+
+def parse_program(source: str, environment: OperatorEnvironment | None = None) -> Program:
+    """Parse a plain program (annotations are allowed but ignored)."""
+    environment = environment or default_environment()
+    parser = _Parser(tokenize(source), environment)
+    collector = _AnnotationCollector()
+    program = parser.parse_choice(collector)
+    parser.expect("EOF")
+    return program
+
+
+def parse_annotated_program(
+    source: str, environment: OperatorEnvironment | None = None
+) -> AnnotatedProgram:
+    """Parse a program with assertion annotations (the proof-assistant input format).
+
+    The first annotation (if any) before the first statement is taken as the
+    precondition, the last annotation after the final statement as the
+    postcondition, and every ``inv:`` annotation is attached to the while loop
+    that follows it.
+    """
+    environment = environment or default_environment()
+    tokens = tokenize(source)
+    parser = _Parser(tokens, environment)
+    collector = _AnnotationCollector()
+
+    precondition: Optional[AssertionSpec] = None
+    postcondition: Optional[AssertionSpec] = None
+    statements: List[Program] = []
+
+    while not parser.at("EOF"):
+        if parser.at("LBRACE"):
+            annotation = parser.parse_annotation()
+            collector.annotations.append(annotation)
+            if annotation.is_invariant:
+                collector.pending_invariant = annotation
+            elif not statements and precondition is None:
+                precondition = annotation
+            else:
+                postcondition = annotation
+        else:
+            statement = parser.parse_statement(collector)
+            statements.append(statement)
+            postcondition = None
+        if parser.at("SEMICOLON"):
+            parser.advance()
+        elif not parser.at("EOF"):
+            token = parser.peek()
+            raise ParseError(
+                f"expected ';' or end of input, found {token.value!r}", token.line, token.column
+            )
+
+    if not statements:
+        raise ParseError("the source text contains no program statement")
+    program = seq(*statements)
+    return AnnotatedProgram(
+        program=program,
+        precondition=precondition,
+        postcondition=postcondition,
+        loop_invariants=collector.loop_invariants,
+        annotations=collector.annotations,
+    )

@@ -1,0 +1,75 @@
+"""Pretty-printing of programs and annotated proof outlines.
+
+The textual form produced here round-trips through the parser (for programs)
+and mirrors the proof-outline output of the NQPV prototype (Sec. 6.2), where
+every sub-statement is annotated with its pre- and postconditions.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .ast import Abort, If, Init, NDet, Program, Seq, Skip, Unitary, While
+
+__all__ = ["program_to_source", "format_program", "format_qubits"]
+
+_INDENT = "    "
+
+
+def format_qubits(qubits) -> str:
+    """Render a qubit tuple as ``[q1 q2]``."""
+    return "[" + " ".join(qubits) + "]"
+
+
+def format_program(program: Program, indent: int = 0) -> str:
+    """Return a human-readable, parser-compatible rendering of ``program``."""
+    return "\n".join(_format(program, indent))
+
+
+def program_to_source(program: Program) -> str:
+    """Alias of :func:`format_program` emphasising that the output is re-parsable."""
+    return format_program(program)
+
+
+def _format(program: Program, indent: int) -> List[str]:
+    pad = _INDENT * indent
+
+    if isinstance(program, Skip):
+        return [pad + "skip"]
+    if isinstance(program, Abort):
+        return [pad + "abort"]
+    if isinstance(program, Init):
+        return [pad + f"{format_qubits(program.qubits)} := 0"]
+    if isinstance(program, Unitary):
+        return [pad + f"{format_qubits(program.qubits)} *= {program.name}"]
+    if isinstance(program, Seq):
+        lines: List[str] = []
+        for index, statement in enumerate(program.statements):
+            chunk = _format(statement, indent)
+            if index < len(program.statements) - 1:
+                chunk[-1] = chunk[-1] + ";"
+            lines.extend(chunk)
+        return lines
+    if isinstance(program, NDet):
+        lines = [pad + "("]
+        for index, branch in enumerate(program.branches):
+            chunk = _format(branch, indent + 1)
+            if index < len(program.branches) - 1:
+                chunk.append(pad + _INDENT + "#")
+            lines.extend(chunk)
+        lines.append(pad + ")")
+        return lines
+    if isinstance(program, If):
+        lines = [pad + f"if {program.measurement.name} {format_qubits(program.qubits)} then"]
+        lines.extend(_format(program.then_branch, indent + 1))
+        if not isinstance(program.else_branch, Skip):
+            lines.append(pad + "else")
+            lines.extend(_format(program.else_branch, indent + 1))
+        lines.append(pad + "end")
+        return lines
+    if isinstance(program, While):
+        lines = [pad + f"while {program.measurement.name} {format_qubits(program.qubits)} do"]
+        lines.extend(_format(program.body, indent + 1))
+        lines.append(pad + "end")
+        return lines
+    raise TypeError(f"unknown program node {type(program).__name__}")

@@ -1,0 +1,121 @@
+"""Seeded random generation of quantum objects.
+
+Used by the property-based tests, the semantic model checker and the
+benchmarks.  All functions take an explicit ``numpy`` random generator (or a
+seed) so every experiment is reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .operators import dagger, outer
+
+__all__ = [
+    "rng_from",
+    "random_state_vector",
+    "random_density_operator",
+    "random_partial_density_operator",
+    "random_unitary",
+    "random_hermitian",
+    "random_predicate_matrix",
+    "random_projector",
+    "random_kraus_operators",
+]
+
+
+def rng_from(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` from a seed or pass one through."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def _ginibre(dimension: int, columns: int, rng: np.random.Generator) -> np.ndarray:
+    """Return a ``dimension × columns`` matrix with i.i.d. complex Gaussian entries."""
+    return rng.normal(size=(dimension, columns)) + 1j * rng.normal(size=(dimension, columns))
+
+
+def random_state_vector(dimension: int, seed=None) -> np.ndarray:
+    """Return a Haar-random pure state as a column vector."""
+    rng = rng_from(seed)
+    vector = _ginibre(dimension, 1, rng)
+    return vector / np.linalg.norm(vector)
+
+
+def random_density_operator(dimension: int, rank: int | None = None, seed=None) -> np.ndarray:
+    """Return a random density operator (trace one) of the given ``rank``."""
+    rng = rng_from(seed)
+    rank = dimension if rank is None else max(1, min(rank, dimension))
+    ginibre = _ginibre(dimension, rank, rng)
+    rho = ginibre @ dagger(ginibre)
+    return rho / np.real(np.trace(rho))
+
+
+def random_partial_density_operator(dimension: int, seed=None) -> np.ndarray:
+    """Return a random partial density operator (trace uniformly in ``(0, 1]``)."""
+    rng = rng_from(seed)
+    weight = float(rng.uniform(0.05, 1.0))
+    return weight * random_density_operator(dimension, seed=rng)
+
+
+def random_unitary(dimension: int, seed=None) -> np.ndarray:
+    """Return a Haar-random unitary via the QR decomposition of a Ginibre matrix."""
+    rng = rng_from(seed)
+    ginibre = _ginibre(dimension, dimension, rng)
+    q, r = np.linalg.qr(ginibre)
+    phases = np.diag(r).copy()
+    phases = phases / np.abs(phases)
+    return q * phases
+
+
+def random_hermitian(dimension: int, scale: float = 1.0, seed=None) -> np.ndarray:
+    """Return a random hermitian operator with entries of magnitude ``≈ scale``."""
+    rng = rng_from(seed)
+    ginibre = _ginibre(dimension, dimension, rng)
+    return scale * (ginibre + dagger(ginibre)) / 2
+
+
+def random_predicate_matrix(dimension: int, seed=None) -> np.ndarray:
+    """Return a random quantum predicate, i.e. a hermitian operator with ``0 ⊑ M ⊑ I``."""
+    rng = rng_from(seed)
+    hermitian = random_hermitian(dimension, seed=rng)
+    eigenvalues, eigenvectors = np.linalg.eigh(hermitian)
+    clipped = rng.uniform(0.0, 1.0, size=dimension)
+    order = np.argsort(eigenvalues)
+    clipped = np.sort(clipped)[order.argsort()]
+    return (eigenvectors * clipped) @ dagger(eigenvectors)
+
+
+def random_projector(dimension: int, rank: int | None = None, seed=None) -> np.ndarray:
+    """Return a random rank-``rank`` orthogonal projector."""
+    rng = rng_from(seed)
+    rank = int(rng.integers(1, dimension)) if rank is None else rank
+    unitary = random_unitary(dimension, seed=rng)
+    projector = np.zeros((dimension, dimension), dtype=complex)
+    for column in range(rank):
+        vector = unitary[:, column].reshape(-1, 1)
+        projector = projector + outer(vector)
+    return projector
+
+
+def random_kraus_operators(
+    dimension: int, count: int = 2, trace_preserving: bool = True, seed=None
+) -> Sequence[np.ndarray]:
+    """Return ``count`` Kraus operators of a random channel.
+
+    When ``trace_preserving`` is ``False`` the channel is scaled down by a
+    random factor so it is strictly trace non-increasing.
+    """
+    rng = rng_from(seed)
+    blocks = [_ginibre(dimension, dimension, rng) for _ in range(count)]
+    gram = sum(dagger(block) @ block for block in blocks)
+    eigenvalues, eigenvectors = np.linalg.eigh(gram)
+    inverse_sqrt = eigenvectors @ np.diag(1.0 / np.sqrt(np.maximum(eigenvalues, 1e-12))) @ dagger(eigenvectors)
+    kraus = [block @ inverse_sqrt for block in blocks]
+    if not trace_preserving:
+        factor = float(np.sqrt(rng.uniform(0.2, 0.95)))
+        kraus = [factor * operator for operator in kraus]
+    return kraus

@@ -1,0 +1,76 @@
+"""Correctness formulas ``{Θ} S {Ψ}`` (Sec. 4.1).
+
+A correctness formula pairs a program with a precondition and a postcondition
+assertion and a *mode* (partial or total correctness).  The semantic validity
+of a formula (Definition 4.2) is decided — up to sampling — by
+:mod:`repro.logic.semantic_check`; derivability in the proof systems by
+:mod:`repro.logic.prover` and :mod:`repro.logic.checker`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from ..exceptions import VerificationError
+from ..language.ast import Program
+from ..predicates.assertion import QuantumAssertion
+from ..registers import QubitRegister
+
+__all__ = ["CorrectnessMode", "CorrectnessFormula"]
+
+
+class CorrectnessMode(str, Enum):
+    """Whether a formula is interpreted in the partial or the total sense."""
+
+    PARTIAL = "partial"
+    TOTAL = "total"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class CorrectnessFormula:
+    """The Hoare triple ``{Θ} S {Ψ}`` together with its correctness mode."""
+
+    precondition: QuantumAssertion
+    program: Program
+    postcondition: QuantumAssertion
+    mode: CorrectnessMode = CorrectnessMode.PARTIAL
+
+    def __post_init__(self):
+        if self.precondition.dimension != self.postcondition.dimension:
+            raise VerificationError(
+                "precondition and postcondition must act on the same Hilbert space"
+            )
+
+    @property
+    def dimension(self) -> int:
+        """Dimension of the Hilbert space of the assertions."""
+        return self.precondition.dimension
+
+    def register(self, register: Optional[QubitRegister] = None) -> QubitRegister:
+        """Return a register compatible with the formula.
+
+        When ``register`` is omitted, the canonical register of the program is
+        used; its dimension must agree with the assertions.
+        """
+        register = register or QubitRegister.for_program(self.program)
+        if register.dimension != self.dimension:
+            raise VerificationError(
+                f"assertions have dimension {self.dimension} but the register has "
+                f"dimension {register.dimension}; embed the assertions first"
+            )
+        return register
+
+    def with_mode(self, mode: CorrectnessMode) -> "CorrectnessFormula":
+        """Return the same triple under a different correctness mode."""
+        return CorrectnessFormula(self.precondition, self.program, self.postcondition, mode)
+
+    def describe(self) -> str:
+        """Return a one-line rendering ``{Θ} S {Ψ} (mode)``."""
+        pre = self.precondition.name or f"Θ({len(self.precondition)})"
+        post = self.postcondition.name or f"Ψ({len(self.postcondition)})"
+        return f"{{ {pre} }} program {{ {post} }} [{self.mode.value}]"

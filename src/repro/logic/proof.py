@@ -1,0 +1,153 @@
+"""Proof outlines: programs annotated with pre-/postconditions and rule names.
+
+The NQPV prototype reports its verification result as a *proof outline*: the
+original program in which every sub-statement is decorated with the assertion
+holding before and after it, plus the name of the proof rule that justified the
+step (Sec. 6.2).  :class:`ProofOutline` is that data structure; it renders to
+text in the same spirit as the paper's Fig. in Sec. 6.2 and is produced by
+:mod:`repro.logic.prover`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from ..language.ast import Abort, If, Init, NDet, Program, Seq, Skip, Unitary, While
+from ..language.printer import format_qubits
+from ..predicates.assertion import QuantumAssertion
+
+__all__ = ["AnnotatedStatement", "ProofOutline"]
+
+_INDENT = "    "
+
+
+@dataclass
+class AnnotatedStatement:
+    """One statement of a proof outline with its surrounding assertions.
+
+    Attributes
+    ----------
+    statement:
+        The program statement this node annotates.
+    precondition / postcondition:
+        The assertions holding before and after the statement.
+    rule:
+        Name of the proof rule that produced the precondition (``Skip``,
+        ``Unit``, ``Meas``, ``While``, ...).
+    children:
+        Annotated sub-statements (sequence elements, branches, loop bodies).
+    note:
+        Free-form remark, e.g. the invariant used for a loop.
+    """
+
+    statement: Program
+    precondition: QuantumAssertion
+    postcondition: QuantumAssertion
+    rule: str
+    children: List["AnnotatedStatement"] = field(default_factory=list)
+    note: Optional[str] = None
+
+    def walk(self) -> Iterator["AnnotatedStatement"]:
+        """Yield this node and all annotated descendants in pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+@dataclass
+class ProofOutline:
+    """A complete proof outline for one correctness formula."""
+
+    root: AnnotatedStatement
+    generated_predicates: Dict[str, QuantumAssertion] = field(default_factory=dict)
+
+    @property
+    def precondition(self) -> QuantumAssertion:
+        """The computed precondition (verification condition) of the whole program."""
+        return self.root.precondition
+
+    @property
+    def postcondition(self) -> QuantumAssertion:
+        """The postcondition the outline was generated from."""
+        return self.root.postcondition
+
+    def statements(self) -> Iterator[AnnotatedStatement]:
+        """Iterate over every annotated statement in the outline."""
+        return self.root.walk()
+
+    def rules_used(self) -> List[str]:
+        """Return the list of rule names in the order they appear in the outline."""
+        return [node.rule for node in self.root.walk()]
+
+    # ------------------------------------------------------------------ output
+    def register_predicate(self, assertion: QuantumAssertion) -> str:
+        """Assign (or reuse) a display name ``VARk`` for a generated assertion."""
+        for name, existing in self.generated_predicates.items():
+            if existing.set_equal(assertion):
+                return name
+        name = assertion.name or f"VAR{len(self.generated_predicates)}"
+        if name in self.generated_predicates and not self.generated_predicates[name].set_equal(assertion):
+            name = f"VAR{len(self.generated_predicates)}"
+        self.generated_predicates[name] = assertion
+        return name
+
+    def _assertion_label(self, assertion: QuantumAssertion) -> str:
+        return "{ " + self.register_predicate(assertion) + " }"
+
+    def render(self) -> str:
+        """Render the proof outline as indented text (NQPV-style)."""
+        lines: List[str] = []
+        self._render_node(self.root, 0, lines, emit_pre=True)
+        return "\n".join(lines)
+
+    def _render_node(
+        self, node: AnnotatedStatement, indent: int, lines: List[str], emit_pre: bool
+    ) -> None:
+        pad = _INDENT * indent
+        statement = node.statement
+        if emit_pre:
+            lines.append(pad + self._assertion_label(node.precondition) + ";")
+        if node.note:
+            lines.append(pad + f"// {node.note}")
+
+        if isinstance(statement, Skip):
+            lines.append(pad + "skip;")
+        elif isinstance(statement, Abort):
+            lines.append(pad + "abort;")
+        elif isinstance(statement, Init):
+            lines.append(pad + f"{format_qubits(statement.qubits)} := 0;")
+        elif isinstance(statement, Unitary):
+            lines.append(pad + f"{format_qubits(statement.qubits)} *= {statement.name};")
+        elif isinstance(statement, Seq):
+            for index, child in enumerate(node.children):
+                self._render_node(child, indent, lines, emit_pre=index > 0)
+        elif isinstance(statement, NDet):
+            lines.append(pad + "(")
+            for index, child in enumerate(node.children):
+                self._render_node(child, indent + 1, lines, emit_pre=True)
+                if index < len(node.children) - 1:
+                    lines.append(pad + _INDENT + "#")
+            lines.append(pad + ");")
+        elif isinstance(statement, If):
+            lines.append(
+                pad + f"if {statement.measurement.name} {format_qubits(statement.qubits)} then"
+            )
+            self._render_node(node.children[0], indent + 1, lines, emit_pre=True)
+            lines.append(pad + "else")
+            self._render_node(node.children[1], indent + 1, lines, emit_pre=True)
+            lines.append(pad + "end;")
+        elif isinstance(statement, While):
+            lines.append(
+                pad + f"while {statement.measurement.name} {format_qubits(statement.qubits)} do"
+            )
+            self._render_node(node.children[0], indent + 1, lines, emit_pre=True)
+            lines.append(pad + "end;")
+        else:  # pragma: no cover - defensive
+            lines.append(pad + repr(statement))
+
+        lines.append(pad + self._assertion_label(node.postcondition) + ";")
+
+    def show(self, name: str) -> QuantumAssertion:
+        """Return a generated assertion by its display name (mirrors NQPV's ``show``)."""
+        return self.generated_predicates[name]

@@ -1,0 +1,288 @@
+"""Automated generation of proof outlines (the verification engine of Sec. 6.2).
+
+Given a program, a postcondition and a loop invariant for every while loop, the
+prover performs a backward pass that mirrors the proof systems of Fig. 3
+(partial correctness) and its total-correctness variant:
+
+* for loop-free constructs it computes the exact weakest (liberal)
+  precondition, which by relative completeness is the strongest derivable
+  precondition;
+* for ``while M[q̄] do S end`` with user invariant ``Θ`` and postcondition ``Ψ``
+  it checks the premise ``Θ ⊑_inf wlp.S.(P⁰(Ψ) + P¹(Θ))`` and, if it holds,
+  returns ``P⁰(Ψ) + P¹(Θ)`` as the loop's precondition (rule (While));
+* in total-correctness mode the loop additionally requires a ranking assertion
+  (Definition 4.3), synthesised and checked by :mod:`repro.logic.ranking`.
+
+The final verification condition is compared against the user's declared
+precondition with the ``⊑_inf`` decision procedure, reproducing the behaviour
+(including the error messages) of the NQPV prototype.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..exceptions import InvariantError, VerificationError
+from ..language.ast import Abort, If, Init, NDet, Program, Seq, Skip, Unitary, While
+from ..predicates.assertion import QuantumAssertion
+from ..predicates.order import OrderCheckResult, leq_inf
+from ..predicates.predicate import QuantumPredicate, clip_to_predicate
+from ..registers import QubitRegister
+from ..semantics.denotational import measurement_superoperators
+from ..superop.kraus import SuperOperator
+from .formula import CorrectnessFormula, CorrectnessMode
+from .proof import AnnotatedStatement, ProofOutline
+from .ranking import check_ranking, synthesize_ranking
+
+__all__ = ["ProverOptions", "VerificationReport", "Prover", "assign_invariants", "verify_formula"]
+
+
+@dataclass
+class ProverOptions:
+    """Numerical options of the prover."""
+
+    epsilon: float = 1e-6
+    ranking_truncation: int = 64
+    check_rankings: bool = True
+
+
+@dataclass
+class VerificationReport:
+    """The result of a prover run.
+
+    Attributes
+    ----------
+    verified:
+        ``True`` when the declared precondition is entailed by the computed
+        verification condition (or when no precondition was declared).
+    formula:
+        The correctness formula that was checked (the precondition may be the
+        computed one when the user omitted it).
+    outline:
+        The generated proof outline.
+    verification_condition:
+        The assertion computed backward from the postcondition.
+    order_check:
+        Details of the final ``⊑_inf`` comparison (``None`` when no declared
+        precondition was given).
+    messages:
+        Human-readable log of the interesting steps (invariant checks, ...).
+    """
+
+    verified: bool
+    formula: CorrectnessFormula
+    outline: ProofOutline
+    verification_condition: QuantumAssertion
+    order_check: Optional[OrderCheckResult] = None
+    messages: List[str] = field(default_factory=list)
+
+
+def assign_invariants(
+    program: Program, invariants: Sequence[QuantumAssertion]
+) -> Dict[int, QuantumAssertion]:
+    """Map invariants to the while loops of ``program`` in textual (pre-order) order."""
+    loops = [node for node in program.walk() if isinstance(node, While)]
+    if len(invariants) != len(loops):
+        raise VerificationError(
+            f"program contains {len(loops)} while loop(s) but {len(invariants)} invariant(s) were given"
+        )
+    return {id(loop): invariant for loop, invariant in zip(loops, invariants)}
+
+
+class Prover:
+    """Backward verification-condition generator for one correctness mode."""
+
+    def __init__(
+        self,
+        register: QubitRegister,
+        mode: CorrectnessMode = CorrectnessMode.PARTIAL,
+        invariants: Optional[Dict[int, QuantumAssertion]] = None,
+        options: Optional[ProverOptions] = None,
+    ):
+        self.register = register
+        self.mode = mode
+        self.invariants = invariants or {}
+        self.options = options or ProverOptions()
+        self.messages: List[str] = []
+
+    # ------------------------------------------------------------------ public
+    def generate(self, program: Program, postcondition: QuantumAssertion) -> ProofOutline:
+        """Produce the proof outline for ``program`` against ``postcondition``."""
+        if postcondition.dimension != self.register.dimension:
+            raise VerificationError(
+                "postcondition dimension does not match the register; embed the assertion first"
+            )
+        root = self._annotate(program, postcondition)
+        return ProofOutline(root=root)
+
+    # ----------------------------------------------------------------- helpers
+    def _annotate(self, program: Program, post: QuantumAssertion) -> AnnotatedStatement:
+        handler = {
+            Skip: self._annotate_skip,
+            Abort: self._annotate_abort,
+            Init: self._annotate_init,
+            Unitary: self._annotate_unitary,
+            Seq: self._annotate_seq,
+            NDet: self._annotate_ndet,
+            If: self._annotate_if,
+            While: self._annotate_while,
+        }.get(type(program))
+        if handler is None:
+            raise VerificationError(f"unsupported construct {type(program).__name__}")
+        return handler(program, post)
+
+    def _annotate_skip(self, program: Skip, post: QuantumAssertion) -> AnnotatedStatement:
+        return AnnotatedStatement(program, post, post, rule="Skip")
+
+    def _annotate_abort(self, program: Abort, post: QuantumAssertion) -> AnnotatedStatement:
+        if self.mode is CorrectnessMode.PARTIAL:
+            pre = QuantumAssertion.identity(self.register.num_qubits)
+            rule = "Abort"
+        else:
+            pre = QuantumAssertion.zero(self.register.num_qubits)
+            rule = "AbortT"
+        return AnnotatedStatement(program, pre, post, rule=rule)
+
+    def _annotate_init(self, program: Init, post: QuantumAssertion) -> AnnotatedStatement:
+        channel = SuperOperator.initializer(len(program.qubits)).embed(program.qubits, self.register)
+        pre = post.apply_superoperator_adjoint(channel)
+        return AnnotatedStatement(program, pre, post, rule="Init")
+
+    def _annotate_unitary(self, program: Unitary, post: QuantumAssertion) -> AnnotatedStatement:
+        embedded = self.register.embed(program.matrix, program.qubits)
+        pre = post.conjugate_by(embedded)
+        return AnnotatedStatement(program, pre, post, rule="Unit")
+
+    def _annotate_seq(self, program: Seq, post: QuantumAssertion) -> AnnotatedStatement:
+        children: List[AnnotatedStatement] = []
+        current_post = post
+        for statement in reversed(program.statements):
+            annotated = self._annotate(statement, current_post)
+            children.append(annotated)
+            current_post = annotated.precondition
+        children.reverse()
+        return AnnotatedStatement(program, current_post, post, rule="Seq", children=children)
+
+    def _annotate_ndet(self, program: NDet, post: QuantumAssertion) -> AnnotatedStatement:
+        children = [self._annotate(branch, post) for branch in program.branches]
+        pre: QuantumAssertion | None = None
+        for child in children:
+            pre = child.precondition if pre is None else pre.union(child.precondition)
+        assert pre is not None
+        return AnnotatedStatement(program, pre, post, rule="NDet", children=children)
+
+    def _annotate_if(self, program: If, post: QuantumAssertion) -> AnnotatedStatement:
+        p0, p1 = measurement_superoperators(program, self.register)
+        then_child = self._annotate(program.then_branch, post)
+        else_child = self._annotate(program.else_branch, post)
+        pre = _measured_sum(p0, else_child.precondition, p1, then_child.precondition)
+        return AnnotatedStatement(
+            program, pre, post, rule="Meas", children=[then_child, else_child]
+        )
+
+    def _annotate_while(self, program: While, post: QuantumAssertion) -> AnnotatedStatement:
+        invariant = self.invariants.get(id(program))
+        if invariant is None:
+            raise InvariantError(
+                "a loop invariant is required for every while loop; none was supplied"
+            )
+        if invariant.dimension != self.register.dimension:
+            invariant = QuantumAssertion(
+                [predicate for predicate in invariant.predicates], name=invariant.name
+            )
+            if invariant.dimension != self.register.dimension:
+                raise InvariantError("loop invariant dimension does not match the register")
+        p0, p1 = measurement_superoperators(program, self.register)
+        loop_condition = _measured_sum(p0, post, p1, invariant)
+        body_child = self._annotate(program.body, loop_condition)
+        premise_check = leq_inf(invariant, body_child.precondition, epsilon=self.options.epsilon)
+        if not premise_check.holds:
+            raise InvariantError(
+                f"The predicate '{invariant.name or 'Θ'}' is not a valid loop invariant: "
+                f"order relation not satisfied against the loop body's weakest precondition"
+            )
+        self.messages.append(
+            f"loop invariant {invariant.name or 'Θ'} validated against the loop body"
+        )
+        rule = "While"
+        if self.mode is CorrectnessMode.TOTAL:
+            rule = "WhileT"
+            if self.options.check_rankings:
+                ranking = synthesize_ranking(
+                    program, self.register, truncation=self.options.ranking_truncation
+                )
+                check_ranking(
+                    program,
+                    ranking,
+                    loop_condition,
+                    self.register,
+                    epsilon=self.options.epsilon,
+                )
+                self.messages.append(
+                    f"ranking assertion synthesised (residual {ranking.residual:.2e})"
+                )
+        return AnnotatedStatement(
+            program,
+            loop_condition,
+            post,
+            rule=rule,
+            children=[body_child],
+            note=f"inv: {invariant.name or 'Θ'}",
+        )
+
+
+def _measured_sum(
+    p0: SuperOperator,
+    zero_branch: QuantumAssertion,
+    p1: SuperOperator,
+    one_branch: QuantumAssertion,
+) -> QuantumAssertion:
+    """Return the assertion ``P⁰(Θ₀) + P¹(Θ₁)`` used by rules (Meas) and (While)."""
+    predicates = []
+    for m0 in zero_branch.predicates:
+        for m1 in one_branch.predicates:
+            matrix = p0.apply(m0.matrix) + p1.apply(m1.matrix)
+            predicates.append(QuantumPredicate(clip_to_predicate(matrix), validate=False))
+    return QuantumAssertion(predicates)
+
+
+def verify_formula(
+    formula: CorrectnessFormula,
+    register: Optional[QubitRegister] = None,
+    invariants: Optional[Dict[int, QuantumAssertion] | Sequence[QuantumAssertion]] = None,
+    options: Optional[ProverOptions] = None,
+) -> VerificationReport:
+    """Verify a correctness formula and return the full report.
+
+    ``invariants`` may be a mapping from ``id(while_node)`` to assertions or a
+    plain sequence assigned to the loops in textual order.
+    """
+    options = options or ProverOptions()
+    register = formula.register(register)
+    if invariants is None:
+        invariant_map: Dict[int, QuantumAssertion] = {}
+    elif isinstance(invariants, dict):
+        invariant_map = invariants
+    else:
+        invariant_map = assign_invariants(formula.program, list(invariants))
+
+    prover = Prover(register, formula.mode, invariant_map, options)
+    outline = prover.generate(formula.program, formula.postcondition)
+    verification_condition = outline.precondition
+
+    order_check = leq_inf(formula.precondition, verification_condition, epsilon=options.epsilon)
+    verified = order_check.holds
+    messages = list(prover.messages)
+    if verified:
+        messages.append("declared precondition entailed by the verification condition")
+    else:
+        messages.append("Order relation not satisfied: declared precondition is too strong")
+    return VerificationReport(
+        verified=verified,
+        formula=formula,
+        outline=outline,
+        verification_condition=verification_condition,
+        order_check=order_check,
+        messages=messages,
+    )

@@ -1,0 +1,111 @@
+"""Direct semantic checking of correctness formulas (Definition 4.2).
+
+The proof systems are sound and relatively complete, but a reproduction should
+be able to *cross-validate* them: this module evaluates the defining inequality
+of partial/total correctness on a family of (random and structured) input
+states, using the denotational semantics of the program.  It is used by the
+property-based tests and by the soundness experiment E8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..language.ast import Program
+from ..linalg.random import random_density_operator, random_partial_density_operator, rng_from
+from ..linalg.states import computational_basis, density
+from ..predicates.assertion import QuantumAssertion
+from ..registers import QubitRegister
+from ..semantics.denotational import DenotationOptions, denotation
+from .formula import CorrectnessFormula, CorrectnessMode
+
+__all__ = ["SemanticCheckResult", "check_formula_semantically", "test_states"]
+
+
+@dataclass
+class SemanticCheckResult:
+    """Outcome of a sampling-based semantic check of a correctness formula.
+
+    Attributes
+    ----------
+    holds:
+        ``True`` when no sampled state violated the correctness inequality.
+    violations:
+        Descriptions of violations found (state index, margin).
+    margin:
+        The smallest observed slack ``rhs − lhs`` over all states and branches;
+        negative values indicate a violation.
+    states_checked:
+        Number of input states evaluated.
+    """
+
+    holds: bool
+    violations: List[str] = field(default_factory=list)
+    margin: float = float("inf")
+    states_checked: int = 0
+
+
+def test_states(
+    register: QubitRegister, samples: int = 8, seed: int | None = 0
+) -> List[np.ndarray]:
+    """Return a family of representative states on ``register``.
+
+    The family contains every computational basis state, the maximally mixed
+    state, and ``samples`` random (full-rank and partial) density operators.
+    """
+    rng = rng_from(seed)
+    dimension = register.dimension
+    states = [density(vector) for vector in computational_basis(register.num_qubits)]
+    states.append(np.eye(dimension, dtype=complex) / dimension)
+    for _ in range(samples):
+        states.append(random_density_operator(dimension, seed=rng))
+        states.append(random_partial_density_operator(dimension, seed=rng))
+    return states
+
+
+def check_formula_semantically(
+    formula: CorrectnessFormula,
+    register: Optional[QubitRegister] = None,
+    states: Optional[Sequence[np.ndarray]] = None,
+    samples: int = 6,
+    seed: int | None = 0,
+    options: Optional[DenotationOptions] = None,
+    tolerance: float = 1e-6,
+) -> SemanticCheckResult:
+    """Evaluate Definition 4.2 on a family of input states.
+
+    For every sampled state ``ρ`` and every explored branch ``σ ∈ [[S]](ρ)`` the
+    inequality
+
+    * total:   ``Exp(ρ ⊨ Θ) ≤ Exp(σ ⊨ Ψ)``
+    * partial: ``Exp(ρ ⊨ Θ) ≤ Exp(σ ⊨ Ψ) + tr(ρ) − tr(σ)``
+
+    is evaluated; the result records the worst margin and any violations.  For
+    programs with loops the check is relative to the explored schedulers.
+    """
+    register = formula.register(register)
+    states = list(states) if states is not None else test_states(register, samples, seed)
+    maps = denotation(formula.program, register, options)
+
+    result = SemanticCheckResult(holds=True)
+    for state_index, rho in enumerate(states):
+        lhs = formula.precondition.expectation(rho)
+        trace_rho = float(np.real(np.trace(rho)))
+        for branch_index, channel in enumerate(maps):
+            sigma = channel.apply(rho)
+            rhs = formula.postcondition.expectation(sigma)
+            if formula.mode is CorrectnessMode.PARTIAL:
+                rhs += trace_rho - float(np.real(np.trace(sigma)))
+            margin = rhs - lhs
+            result.margin = min(result.margin, margin)
+            if margin < -tolerance:
+                result.holds = False
+                result.violations.append(
+                    f"state #{state_index}, branch #{branch_index}: "
+                    f"Exp(pre) = {lhs:.6f} > {rhs:.6f}"
+                )
+        result.states_checked += 1
+    return result

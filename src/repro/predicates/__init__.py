@@ -1,0 +1,20 @@
+"""Quantum predicates, assertions and the ``⊑_inf`` decision procedure (S6 + S7)."""
+
+from .assertion import QuantumAssertion
+from .order import OrderCheckResult, assert_leq_inf, expectation_gap, leq_inf
+from .predicate import QuantumPredicate, clip_to_predicate
+from .sdp import GapResult, lambda_max, max_min_expectation_gap, top_eigenvector_state
+
+__all__ = [
+    "QuantumAssertion",
+    "QuantumPredicate",
+    "clip_to_predicate",
+    "OrderCheckResult",
+    "assert_leq_inf",
+    "expectation_gap",
+    "leq_inf",
+    "GapResult",
+    "lambda_max",
+    "max_min_expectation_gap",
+    "top_eigenvector_state",
+]

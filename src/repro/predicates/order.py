@@ -1,0 +1,142 @@
+"""Decision procedure for the ``⊑_inf`` pre-order on quantum assertions (Sec. 6.3).
+
+``Θ ⊑_inf Ψ`` holds iff for every state ``ρ``, ``min_{M∈Θ} tr(Mρ) ≤
+min_{N∈Ψ} tr(Nρ)``.  By Lemma 6.1 this is equivalent to checking, for each
+``N ∈ Ψ`` separately, that no state can make every predicate of ``Θ`` exceed
+``N`` by more than the precision ``ε``:
+
+* when ``Θ`` is a singleton ``{M}``, this is exactly the Löwner comparison
+  ``M ⊑ N``, decided by an eigenvalue computation;
+* otherwise the optimal gap ``V(Θ, N)`` is bracketed by the primal/dual pair of
+  :mod:`repro.predicates.sdp` and compared against ``ε``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..linalg.constants import NUMERIC_TOL
+from ..linalg.operators import loewner_le
+from .assertion import QuantumAssertion
+from .predicate import QuantumPredicate
+from .sdp import GapResult, max_min_expectation_gap
+
+__all__ = ["OrderCheckResult", "leq_inf", "assert_leq_inf", "expectation_gap"]
+
+
+@dataclass
+class OrderCheckResult:
+    """Outcome of a ``Θ ⊑_inf Ψ`` check.
+
+    Attributes
+    ----------
+    holds:
+        Whether the relation was established (up to the requested precision).
+    violating_index:
+        Index inside ``Ψ`` of the first predicate for which the check failed.
+    witness:
+        A density operator witnessing the violation, when one was found.
+    gap:
+        The certified gap interval for the violating predicate (``None`` when
+        the relation holds or the failure came from a plain Löwner check).
+    details:
+        Human-readable per-predicate summaries, useful in error messages.
+    """
+
+    holds: bool
+    violating_index: Optional[int] = None
+    witness: Optional[np.ndarray] = None
+    gap: Optional[GapResult] = None
+    details: List[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+def expectation_gap(
+    theta: QuantumAssertion, psi_predicate: QuantumPredicate, **solver_options
+) -> GapResult:
+    """Return certified bounds on ``max_ρ (min_{M∈Θ} tr(Mρ) − tr(Nρ))``."""
+    return max_min_expectation_gap(theta.matrices, psi_predicate.matrix, **solver_options)
+
+
+def leq_inf(
+    theta: QuantumAssertion,
+    psi: QuantumAssertion,
+    epsilon: float = NUMERIC_TOL,
+    **solver_options,
+) -> OrderCheckResult:
+    """Decide whether ``Θ ⊑_inf Ψ`` up to the precision ``epsilon``.
+
+    The check follows the algorithm of Sec. 6.3: each ``N ∈ Ψ`` is examined
+    independently.  The singleton case is decided exactly by a Löwner
+    comparison; the general case by the certified primal/dual bounds on the
+    worst-case expectation gap.
+    """
+    details: List[str] = []
+    for index, psi_predicate in enumerate(psi.predicates):
+        if theta.is_singleton():
+            theta_predicate = theta.predicates[0]
+            if loewner_le(theta_predicate.matrix, psi_predicate.matrix, atol=max(epsilon, 1e-7)):
+                details.append(f"N_{index}: Löwner comparison holds")
+                continue
+            gap = max_min_expectation_gap(theta.matrices, psi_predicate.matrix, **solver_options)
+            return OrderCheckResult(
+                holds=False,
+                violating_index=index,
+                witness=gap.witness,
+                gap=gap,
+                details=details + [f"N_{index}: Löwner comparison fails (gap ≈ {gap.upper:.3e})"],
+            )
+
+        gap = max_min_expectation_gap(theta.matrices, psi_predicate.matrix, **solver_options)
+        if gap.upper <= epsilon:
+            details.append(f"N_{index}: dual certificate {gap.upper:.3e} ≤ ε")
+            continue
+        if gap.lower > epsilon:
+            return OrderCheckResult(
+                holds=False,
+                violating_index=index,
+                witness=gap.witness,
+                gap=gap,
+                details=details + [f"N_{index}: primal witness with gap {gap.lower:.3e} > ε"],
+            )
+        # The certified interval straddles ε.  Following the paper (which accepts a
+        # small one-sided error governed by the user precision), the decision is
+        # made on the dual estimate, which can only over-approximate the true gap.
+        if gap.upper <= 10 * epsilon:
+            details.append(
+                f"N_{index}: inconclusive interval [{gap.lower:.3e}, {gap.upper:.3e}], accepted within 10ε"
+            )
+            continue
+        return OrderCheckResult(
+            holds=False,
+            violating_index=index,
+            witness=gap.witness,
+            gap=gap,
+            details=details + [f"N_{index}: inconclusive interval [{gap.lower:.3e}, {gap.upper:.3e}]"],
+        )
+    return OrderCheckResult(holds=True, details=details)
+
+
+def assert_leq_inf(
+    theta: QuantumAssertion,
+    psi: QuantumAssertion,
+    epsilon: float = NUMERIC_TOL,
+    context: str = "",
+) -> None:
+    """Raise :class:`~repro.exceptions.OrderRelationError` unless ``Θ ⊑_inf Ψ``."""
+    from ..exceptions import OrderRelationError
+
+    result = leq_inf(theta, psi, epsilon=epsilon)
+    if not result.holds:
+        theta_name = theta.name or "Θ"
+        psi_name = psi.name or "Ψ"
+        prefix = f"{context}: " if context else ""
+        raise OrderRelationError(
+            f"{prefix}Order relation not satisfied: {{ {theta_name} }} <= {{ {psi_name} }}",
+            witness=result.witness,
+        )

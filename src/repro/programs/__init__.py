@@ -1,0 +1,48 @@
+"""Library of case-study and benchmark programs (S12).
+
+* :mod:`repro.programs.errcorr`   — three-qubit bit-flip code (Sec. 5.1);
+* :mod:`repro.programs.deutsch`   — Deutsch's algorithm (Sec. 5.2);
+* :mod:`repro.programs.qwalk`     — nondeterministic quantum walk (Sec. 5.3);
+* :mod:`repro.programs.grover`    — n-qubit Grover, the performance workload (Sec. 6);
+* :mod:`repro.programs.teleport`  — teleportation (extension);
+* :mod:`repro.programs.phaseflip` — three-qubit phase-flip code (extension);
+* :mod:`repro.programs.rus`       — repeat-until-success loops for total correctness (extension).
+"""
+
+from .deutsch import deutsch_formula, deutsch_postcondition, deutsch_program, deutsch_register, oracle_unitary
+from .errcorr import (
+    encoded_state_predicate,
+    errcorr_formula,
+    errcorr_program,
+    errcorr_register,
+    noise_choice,
+)
+from .grover import (
+    diffusion_matrix,
+    grover_formula,
+    grover_iterations,
+    grover_program,
+    grover_register,
+    grover_success_probability,
+    oracle_matrix,
+)
+from .phaseflip import phaseflip_formula, phaseflip_program, phaseflip_register
+from .qwalk import (
+    invalid_invariant,
+    qwalk_body,
+    qwalk_formula,
+    qwalk_invariant,
+    qwalk_measurement,
+    qwalk_program,
+    qwalk_register,
+)
+from .rus import (
+    nondeterministic_rus_program,
+    rus_formula,
+    rus_invariant,
+    rus_program,
+    rus_register,
+)
+from .teleport import teleport_formula, teleport_program, teleport_register
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,95 @@
+"""Deutsch's algorithm as a nondeterministic program (Sec. 5.2).
+
+The classical oracle ``f : {0,1} → {0,1}`` is unknown; the four possible
+oracle unitaries are grouped by whether ``f`` is constant or balanced, the
+group being selected by measuring an auxiliary qubit ``q`` with unknown initial
+state, and the member of each group by a nondeterministic choice.  The
+correctness statement (Eq. (14)) asserts that the algorithm's answer (qubit
+``q1``) always agrees with the class encoded in ``q``:
+
+    ⊨_tot { I }  Deutsch  { (|00⟩⟨00| + |11⟩⟨11|)_{q, q1} }.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..language.ast import (
+    If,
+    Init,
+    MEAS_COMPUTATIONAL,
+    Program,
+    Skip,
+    Unitary,
+    measure,
+    ndet,
+    seq,
+)
+from ..linalg.constants import C0X, CX, H, X
+from ..linalg.states import ket
+from ..logic.formula import CorrectnessFormula, CorrectnessMode
+from ..predicates.assertion import QuantumAssertion
+from ..predicates.predicate import QuantumPredicate
+from ..registers import QubitRegister
+
+__all__ = [
+    "deutsch_register",
+    "deutsch_program",
+    "deutsch_postcondition",
+    "deutsch_formula",
+    "oracle_unitary",
+]
+
+
+def deutsch_register() -> QubitRegister:
+    """Return the register ``(q, q1, q2)``: oracle selector, answer qubit, work qubit."""
+    return QubitRegister(("q", "q1", "q2"))
+
+
+def oracle_unitary(f0: int, f1: int) -> np.ndarray:
+    """Return the two-qubit oracle ``U_f`` mapping ``|x⟩|y⟩ ↦ |x⟩|y ⊕ f(x)⟩``."""
+    matrix = np.zeros((4, 4), dtype=complex)
+    values = {0: f0, 1: f1}
+    for x in (0, 1):
+        for y in (0, 1):
+            column = 2 * x + y
+            row = 2 * x + (y ^ values[x])
+            matrix[row, column] = 1.0
+    return matrix
+
+
+def deutsch_program() -> Program:
+    """Return the ``Deutsch`` program of Sec. 5.2."""
+    constant_branch = ndet(Skip(), Unitary(("q2",), "X", X))
+    balanced_branch = ndet(
+        Unitary(("q1", "q2"), "CX", CX),
+        Unitary(("q1", "q2"), "C0X", C0X),
+    )
+    oracle_choice = If(MEAS_COMPUTATIONAL, ("q",), balanced_branch, constant_branch)
+    return seq(
+        Init(("q1", "q2")),
+        Unitary(("q1",), "H", H),
+        Unitary(("q2",), "X", X),
+        Unitary(("q2",), "H", H),
+        oracle_choice,
+        Unitary(("q1",), "H", H),
+        measure(("q1",)),
+    )
+
+
+def deutsch_postcondition(register: QubitRegister) -> QuantumAssertion:
+    """Return ``{(|00⟩⟨00| + |11⟩⟨11|)_{q, q1}}`` embedded in the full register."""
+    projector = np.outer(ket("00"), ket("00").conj()) + np.outer(ket("11"), ket("11").conj())
+    predicate = QuantumPredicate(projector, name="agree")
+    return QuantumAssertion([predicate.embed(("q", "q1"), register)], name="agree")
+
+
+def deutsch_formula(mode: CorrectnessMode = CorrectnessMode.TOTAL) -> Tuple[CorrectnessFormula, QubitRegister]:
+    """Return the correctness formula of Eq. (14)."""
+    register = deutsch_register()
+    precondition = QuantumAssertion.identity(register.num_qubits)
+    postcondition = deutsch_postcondition(register)
+    formula = CorrectnessFormula(precondition, deutsch_program(), postcondition, mode)
+    return formula, register

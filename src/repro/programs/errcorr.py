@@ -1,0 +1,107 @@
+"""Three-qubit bit-flip error correction as a nondeterministic program (Example 3.1).
+
+The scheme encodes an arbitrary single-qubit state ``α0|0⟩ + α1|1⟩`` into
+``α0|000⟩ + α1|111⟩``, lets at most one (unknown) qubit suffer a bit-flip — the
+unknown noise is modelled as a four-way nondeterministic choice — and then
+decodes, detecting and undoing the error.  The correctness statement (Eq. (13))
+says the data qubit ``q`` is returned in its original state under every
+resolution of the nondeterminism:
+
+    ⊨_tot { [ψ]_q }  ErrCorr  { [ψ]_q }    for every pure state ψ.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..language.ast import (
+    If,
+    Init,
+    MEAS_COMPUTATIONAL,
+    Program,
+    Skip,
+    Unitary,
+    if_then,
+    ndet,
+    seq,
+)
+from ..linalg.constants import CX, X
+from ..linalg.states import state_from_amplitudes
+from ..logic.formula import CorrectnessFormula, CorrectnessMode
+from ..predicates.assertion import QuantumAssertion
+from ..predicates.predicate import QuantumPredicate
+from ..registers import QubitRegister
+
+__all__ = [
+    "DATA_QUBIT",
+    "ANCILLA_QUBITS",
+    "errcorr_register",
+    "errcorr_program",
+    "noise_choice",
+    "errcorr_formula",
+    "encoded_state_predicate",
+]
+
+#: Name of the protected data qubit.
+DATA_QUBIT = "q"
+
+#: Names of the two syndrome/ancilla qubits.
+ANCILLA_QUBITS = ("q1", "q2")
+
+
+def errcorr_register() -> QubitRegister:
+    """Return the canonical three-qubit register ``(q, q1, q2)``."""
+    return QubitRegister((DATA_QUBIT,) + ANCILLA_QUBITS)
+
+
+def noise_choice() -> Program:
+    """The nondeterministic noise statement: no error, or a bit flip on one qubit."""
+    return ndet(
+        Skip(),
+        Unitary((DATA_QUBIT,), "X", X),
+        Unitary((ANCILLA_QUBITS[0],), "X", X),
+        Unitary((ANCILLA_QUBITS[1],), "X", X),
+    )
+
+
+def errcorr_program() -> Program:
+    """Return the ``ErrCorr`` program of Example 3.1 (encode → noise → decode → correct)."""
+    q, q1, q2 = DATA_QUBIT, ANCILLA_QUBITS[0], ANCILLA_QUBITS[1]
+    correction = if_then(
+        MEAS_COMPUTATIONAL,
+        (q2,),
+        if_then(MEAS_COMPUTATIONAL, (q1,), Unitary((q,), "X", X)),
+    )
+    return seq(
+        Init((q1, q2)),
+        Unitary((q, q1), "CX", CX),
+        Unitary((q, q2), "CX", CX),
+        noise_choice(),
+        Unitary((q, q2), "CX", CX),
+        Unitary((q, q1), "CX", CX),
+        correction,
+    )
+
+
+def encoded_state_predicate(alpha0: complex, alpha1: complex, register: QubitRegister) -> QuantumPredicate:
+    """Return the rank-one predicate ``[ψ]_q ⊗ I_{q1 q2}`` for ``ψ = α0|0⟩ + α1|1⟩``."""
+    psi = state_from_amplitudes([alpha0, alpha1])
+    data_predicate = QuantumPredicate.from_state(psi, name="psi")
+    return data_predicate.embed((DATA_QUBIT,), register)
+
+
+def errcorr_formula(
+    alpha0: complex = 0.6, alpha1: complex = 0.8, mode: CorrectnessMode = CorrectnessMode.TOTAL
+) -> Tuple[CorrectnessFormula, QubitRegister]:
+    """Return the correctness formula of Eq. (13) for the given amplitudes.
+
+    Both pre- and postcondition are ``[ψ]_q`` (extended by the identity on the
+    ancillas), asserting that the data qubit is perfectly preserved.
+    """
+    register = errcorr_register()
+    predicate = encoded_state_predicate(alpha0, alpha1, register)
+    assertion = QuantumAssertion([predicate], name="psi_q")
+    formula = CorrectnessFormula(assertion, errcorr_program(), assertion, mode)
+    return formula, register

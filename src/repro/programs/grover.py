@@ -1,0 +1,119 @@
+"""n-qubit Grover search, the performance workload of Sec. 6 ("Performance").
+
+The paper reports that verifying a 13-qubit Grover instance takes roughly 90
+seconds and 32 GB of memory in the NQPV prototype — the cost is dominated by
+manipulating ``2^n × 2^n`` operators.  This module builds the same workload:
+the (deterministic) Grover program with the optimal number of iterations, its
+correctness formula ``{p·I} Grover {[t]}`` where ``p`` is the success
+probability, and helpers for the scaling benchmark (experiment E4).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..language.ast import Init, Program, Unitary, seq
+from ..linalg.constants import H
+from ..linalg.tensor import kron_all
+from ..logic.formula import CorrectnessFormula, CorrectnessMode
+from ..predicates.assertion import QuantumAssertion
+from ..predicates.predicate import QuantumPredicate
+from ..registers import QubitRegister
+
+__all__ = [
+    "grover_register",
+    "grover_qubit_names",
+    "oracle_matrix",
+    "diffusion_matrix",
+    "grover_iterations",
+    "grover_success_probability",
+    "grover_program",
+    "grover_formula",
+]
+
+
+def grover_qubit_names(num_qubits: int) -> Tuple[str, ...]:
+    """Return the canonical qubit names ``q0 … q{n-1}``."""
+    return tuple(f"q{index}" for index in range(num_qubits))
+
+
+def grover_register(num_qubits: int) -> QubitRegister:
+    """Return the register for an ``num_qubits``-qubit search space."""
+    return QubitRegister(grover_qubit_names(num_qubits))
+
+
+def oracle_matrix(num_qubits: int, marked: int) -> np.ndarray:
+    """Return the phase oracle ``I − 2|t⟩⟨t|`` marking basis state ``marked``."""
+    dimension = 2 ** num_qubits
+    if not 0 <= marked < dimension:
+        raise ValueError(f"marked index {marked} out of range for {num_qubits} qubit(s)")
+    matrix = np.eye(dimension, dtype=complex)
+    matrix[marked, marked] = -1.0
+    return matrix
+
+
+def diffusion_matrix(num_qubits: int) -> np.ndarray:
+    """Return the Grover diffusion operator ``2|s⟩⟨s| − I`` (``|s⟩`` uniform)."""
+    dimension = 2 ** num_qubits
+    uniform = np.full((dimension, 1), 1.0 / np.sqrt(dimension), dtype=complex)
+    return 2.0 * (uniform @ uniform.conj().T) - np.eye(dimension, dtype=complex)
+
+
+def grover_iterations(num_qubits: int) -> int:
+    """Return the standard iteration count ``⌊π/4 · √(2^n)⌋`` (at least one)."""
+    dimension = 2 ** num_qubits
+    return max(1, int(np.floor(np.pi / 4 * np.sqrt(dimension))))
+
+
+def grover_success_probability(num_qubits: int, iterations: int | None = None) -> float:
+    """Return the exact success probability ``sin²((2k+1)θ)`` with ``sin θ = 2^{-n/2}``."""
+    dimension = 2 ** num_qubits
+    theta = np.arcsin(1.0 / np.sqrt(dimension))
+    iterations = grover_iterations(num_qubits) if iterations is None else iterations
+    return float(np.sin((2 * iterations + 1) * theta) ** 2)
+
+
+def grover_program(num_qubits: int, marked: int = 0, iterations: int | None = None) -> Program:
+    """Return the Grover program: initialise, Hadamard, then ``iterations`` rounds."""
+    qubits = grover_qubit_names(num_qubits)
+    iterations = grover_iterations(num_qubits) if iterations is None else iterations
+    hadamard_all = kron_all([H] * num_qubits)
+    oracle = oracle_matrix(num_qubits, marked)
+    diffusion = diffusion_matrix(num_qubits)
+
+    statements: List[Program] = [Init(qubits), Unitary(qubits, "Hn", hadamard_all)]
+    for _ in range(iterations):
+        statements.append(Unitary(qubits, "Oracle", oracle))
+        statements.append(Unitary(qubits, "Diffusion", diffusion))
+    return seq(*statements)
+
+
+def grover_formula(
+    num_qubits: int, marked: int = 0, iterations: int | None = None
+) -> Tuple[CorrectnessFormula, QubitRegister]:
+    """Return ``{p·I} Grover {[t]}`` where ``p`` is the exact success probability.
+
+    The formula is valid in the total-correctness sense: from any input of
+    trace one the final state hits the marked element with probability exactly
+    ``p``, so ``p·I`` is (numerically) the weakest precondition of ``[t]``.
+    """
+    register = grover_register(num_qubits)
+    iterations = grover_iterations(num_qubits) if iterations is None else iterations
+    probability = grover_success_probability(num_qubits, iterations)
+    # Guard against round-off pushing the scalar predicate above I.
+    probability = min(probability, 1.0 - 1e-12)
+    precondition = QuantumAssertion(
+        [QuantumPredicate.uniform(probability, num_qubits, name="pI")], name="pI"
+    )
+    target = np.zeros((register.dimension, register.dimension), dtype=complex)
+    target[marked, marked] = 1.0
+    postcondition = QuantumAssertion([QuantumPredicate(target, name="target")], name="target")
+    formula = CorrectnessFormula(
+        precondition,
+        grover_program(num_qubits, marked, iterations),
+        postcondition,
+        CorrectnessMode.TOTAL,
+    )
+    return formula, register

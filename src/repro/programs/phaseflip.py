@@ -1,0 +1,73 @@
+"""Three-qubit phase-flip error correction (extension of the Sec. 5.1 case study).
+
+The phase-flip code is the Hadamard conjugate of the bit-flip code: encoding
+into the ``|±⟩`` basis converts ``Z`` noise into effective ``X`` noise, which
+the bit-flip machinery then corrects.  As in Example 3.1 the unknown noise is
+modelled by a nondeterministic choice: no error, or a phase flip on one of the
+three qubits.
+
+    ⊨_tot { [ψ]_q }  PhaseFlipCorr  { [ψ]_q }    for every pure state ψ.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..language.ast import MEAS_COMPUTATIONAL, Init, Program, Skip, Unitary, if_then, ndet, seq
+from ..linalg.constants import CX, H, X, Z
+from ..linalg.states import state_from_amplitudes
+from ..logic.formula import CorrectnessFormula, CorrectnessMode
+from ..predicates.assertion import QuantumAssertion
+from ..predicates.predicate import QuantumPredicate
+from ..registers import QubitRegister
+
+__all__ = ["phaseflip_register", "phaseflip_program", "phaseflip_formula"]
+
+
+def phaseflip_register() -> QubitRegister:
+    """Return the three-qubit register ``(q, q1, q2)``."""
+    return QubitRegister(("q", "q1", "q2"))
+
+
+def phaseflip_program() -> Program:
+    """Return the phase-flip correction scheme as a nondeterministic program."""
+    q, q1, q2 = "q", "q1", "q2"
+    hadamards = seq(
+        Unitary((q,), "H", H), Unitary((q1,), "H", H), Unitary((q2,), "H", H)
+    )
+    noise = ndet(
+        Skip(),
+        Unitary((q,), "Z", Z),
+        Unitary((q1,), "Z", Z),
+        Unitary((q2,), "Z", Z),
+    )
+    correction = if_then(
+        MEAS_COMPUTATIONAL,
+        (q2,),
+        if_then(MEAS_COMPUTATIONAL, (q1,), Unitary((q,), "X", X)),
+    )
+    return seq(
+        Init((q1, q2)),
+        Unitary((q, q1), "CX", CX),
+        Unitary((q, q2), "CX", CX),
+        hadamards,
+        noise,
+        hadamards,
+        Unitary((q, q2), "CX", CX),
+        Unitary((q, q1), "CX", CX),
+        correction,
+    )
+
+
+def phaseflip_formula(
+    alpha0: complex = 0.6, alpha1: complex = 0.8
+) -> Tuple[CorrectnessFormula, QubitRegister]:
+    """Return ``{[ψ]_q} PhaseFlipCorr {[ψ]_q}``."""
+    register = phaseflip_register()
+    psi = state_from_amplitudes([alpha0, alpha1])
+    predicate = QuantumPredicate.from_state(psi, name="psi").embed(("q",), register)
+    assertion = QuantumAssertion([predicate], name="psi_q")
+    formula = CorrectnessFormula(
+        assertion, phaseflip_program(), assertion, CorrectnessMode.TOTAL
+    )
+    return formula, register

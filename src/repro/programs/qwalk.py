@@ -1,0 +1,95 @@
+"""The nondeterministic quantum walk of Sec. 5.3.
+
+A walker on a four-vertex circle is driven by two unitary walk operators
+``W1``/``W2`` applied in an order chosen nondeterministically at every step; an
+absorbing boundary at ``|10⟩`` terminates the walk.  The paper proves the
+strong non-termination property (Eq. (15)): under *every* scheduler the walk
+never terminates, expressed as the partial-correctness formula
+
+    ⊨_par { I }  QWalk  { 0 }
+
+with the loop invariant ``N = [|00⟩] + [(|01⟩ + |11⟩)/√2]``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..language.ast import Init, Measurement, Program, Unitary, While, ndet, seq
+from ..linalg.constants import W1, W2
+from ..linalg.operators import outer
+from ..logic.formula import CorrectnessFormula, CorrectnessMode
+from ..predicates.assertion import QuantumAssertion
+from ..predicates.predicate import QuantumPredicate
+from ..registers import QubitRegister
+
+__all__ = [
+    "qwalk_register",
+    "qwalk_measurement",
+    "qwalk_body",
+    "qwalk_program",
+    "qwalk_invariant",
+    "qwalk_formula",
+    "invalid_invariant",
+]
+
+
+def qwalk_register() -> QubitRegister:
+    """Return the two-qubit register ``(q1, q2)`` of the walk."""
+    return QubitRegister(("q1", "q2"))
+
+
+def qwalk_measurement() -> Measurement:
+    """Return the absorbing-boundary measurement ``{|10⟩⟨10|, I − |10⟩⟨10|}``."""
+    p0 = np.zeros((4, 4), dtype=complex)
+    p0[2, 2] = 1.0
+    p1 = np.eye(4, dtype=complex) - p0
+    return Measurement("MQWalk", p0, p1)
+
+
+def qwalk_body() -> Program:
+    """Return the loop body: ``(W1; W2) □ (W2; W1)`` on the walker register."""
+    qubits = ("q1", "q2")
+    first = seq(Unitary(qubits, "W1", W1), Unitary(qubits, "W2", W2))
+    second = seq(Unitary(qubits, "W2", W2), Unitary(qubits, "W1", W1))
+    return ndet(first, second)
+
+
+def qwalk_program() -> Program:
+    """Return the full ``QWalk`` program of Sec. 5.3."""
+    return seq(
+        Init(("q1", "q2")),
+        While(qwalk_measurement(), ("q1", "q2"), qwalk_body()),
+    )
+
+
+def qwalk_invariant() -> QuantumAssertion:
+    """Return the loop invariant ``N = [|00⟩] + [(|01⟩ + |11⟩)/√2]`` of Sec. 5.3."""
+    e00 = np.zeros((4, 1), dtype=complex)
+    e00[0, 0] = 1.0
+    superposition = np.zeros((4, 1), dtype=complex)
+    superposition[1, 0] = 1.0 / np.sqrt(2)
+    superposition[3, 0] = 1.0 / np.sqrt(2)
+    matrix = outer(e00) + outer(superposition)
+    return QuantumAssertion([QuantumPredicate(matrix, name="invN")], name="invN")
+
+
+def invalid_invariant() -> QuantumAssertion:
+    """Return the invalid invariant ``P0[q1]`` used in Sec. 6.2 to trigger an error."""
+    register = qwalk_register()
+    p0 = np.array([[1, 0], [0, 0]], dtype=complex)
+    predicate = QuantumPredicate(p0, name="P0").embed(("q1",), register)
+    return QuantumAssertion([predicate], name="P0")
+
+
+def qwalk_formula() -> Tuple[CorrectnessFormula, QubitRegister]:
+    """Return the non-termination formula of Eq. (15): ``⊨_par {I} QWalk {0}``."""
+    register = qwalk_register()
+    precondition = QuantumAssertion.identity(register.num_qubits)
+    postcondition = QuantumAssertion.zero(register.num_qubits)
+    formula = CorrectnessFormula(
+        precondition, qwalk_program(), postcondition, CorrectnessMode.PARTIAL
+    )
+    return formula, register

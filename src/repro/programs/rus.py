@@ -1,0 +1,75 @@
+"""Repeat-until-success loops: terminating workloads for total correctness (E10).
+
+The quantum walk of Sec. 5.3 never terminates; to exercise the (WhileT) rule
+and the ranking-assertion machinery the repository also provides loops that
+terminate almost surely under every scheduler:
+
+* ``rus_program`` — a single-qubit loop that keeps re-randomising with a
+  Hadamard until the measurement returns 0; and
+* ``nondeterministic_rus_program`` — the same loop where the body additionally
+  chooses, nondeterministically, between two re-randomisation strategies.
+
+Both satisfy ``⊨_tot { I } RUS { [|0⟩] }`` with loop invariant ``{I}``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..language.ast import Init, MEAS_COMPUTATIONAL, Program, Unitary, While, ndet, seq
+from ..linalg.constants import H, X
+from ..logic.formula import CorrectnessFormula, CorrectnessMode
+from ..predicates.assertion import QuantumAssertion
+from ..predicates.predicate import QuantumPredicate
+from ..registers import QubitRegister
+
+__all__ = [
+    "rus_register",
+    "rus_program",
+    "nondeterministic_rus_program",
+    "rus_formula",
+    "rus_invariant",
+]
+
+
+def rus_register() -> QubitRegister:
+    """Return the single-qubit register of the repeat-until-success loops."""
+    return QubitRegister(("q",))
+
+
+def rus_program() -> Program:
+    """Return ``q := 0; q *= H; while M[q] do q *= H end``."""
+    return seq(
+        Init(("q",)),
+        Unitary(("q",), "H", H),
+        While(MEAS_COMPUTATIONAL, ("q",), Unitary(("q",), "H", H)),
+    )
+
+
+def nondeterministic_rus_program() -> Program:
+    """Return the variant whose loop body nondeterministically picks ``H`` or ``X; H``."""
+    body = ndet(
+        Unitary(("q",), "H", H),
+        seq(Unitary(("q",), "X", X), Unitary(("q",), "H", H)),
+    )
+    return seq(
+        Init(("q",)),
+        Unitary(("q",), "H", H),
+        While(MEAS_COMPUTATIONAL, ("q",), body),
+    )
+
+
+def rus_invariant() -> QuantumAssertion:
+    """Return the loop invariant ``{I}`` used for both loops."""
+    return QuantumAssertion.identity(1)
+
+
+def rus_formula(nondeterministic: bool = False) -> Tuple[CorrectnessFormula, QubitRegister]:
+    """Return ``⊨_tot {I} RUS {[|0⟩]}`` for the chosen variant."""
+    register = rus_register()
+    program = nondeterministic_rus_program() if nondeterministic else rus_program()
+    precondition = QuantumAssertion.identity(1)
+    target = QuantumPredicate.from_state([[1.0], [0.0]], name="zero_state")
+    postcondition = QuantumAssertion([target], name="zero_state")
+    formula = CorrectnessFormula(precondition, program, postcondition, CorrectnessMode.TOTAL)
+    return formula, register

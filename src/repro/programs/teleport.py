@@ -1,0 +1,56 @@
+"""Quantum teleportation expressed in the while-language (extension example).
+
+Teleportation is deterministic, but it exercises exactly the constructs the
+paper's logic is designed for: measurement-dependent corrections expressed as
+nested conditionals.  The correctness statement mirrors the error-correction
+one: the payload state reappears, unchanged, on the receiver's qubit:
+
+    ⊨_tot { [ψ]_q }  Teleport  { [ψ]_b }    for every pure state ψ.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..language.ast import Init, MEAS_COMPUTATIONAL, Program, Unitary, if_then, seq
+from ..linalg.constants import CX, H, X, Z
+from ..linalg.states import state_from_amplitudes
+from ..logic.formula import CorrectnessFormula, CorrectnessMode
+from ..predicates.assertion import QuantumAssertion
+from ..predicates.predicate import QuantumPredicate
+from ..registers import QubitRegister
+
+__all__ = ["teleport_register", "teleport_program", "teleport_formula"]
+
+
+def teleport_register() -> QubitRegister:
+    """Return the register ``(q, a, b)``: payload, Alice's half, Bob's half."""
+    return QubitRegister(("q", "a", "b"))
+
+
+def teleport_program() -> Program:
+    """Return the teleportation protocol (entangle, Bell-measure, correct)."""
+    return seq(
+        Init(("a", "b")),
+        Unitary(("a",), "H", H),
+        Unitary(("a", "b"), "CX", CX),
+        Unitary(("q", "a"), "CX", CX),
+        Unitary(("q",), "H", H),
+        if_then(MEAS_COMPUTATIONAL, ("a",), Unitary(("b",), "X", X)),
+        if_then(MEAS_COMPUTATIONAL, ("q",), Unitary(("b",), "Z", Z)),
+    )
+
+
+def teleport_formula(
+    alpha0: complex = 0.6, alpha1: complex = 0.8
+) -> Tuple[CorrectnessFormula, QubitRegister]:
+    """Return ``{[ψ]_q} Teleport {[ψ]_b}`` for ``ψ = α0|0⟩ + α1|1⟩``."""
+    register = teleport_register()
+    psi = state_from_amplitudes([alpha0, alpha1])
+    payload = QuantumPredicate.from_state(psi, name="psi")
+    precondition = QuantumAssertion([payload.embed(("q",), register)], name="psi_q")
+    postcondition = QuantumAssertion([payload.embed(("b",), register)], name="psi_b")
+    formula = CorrectnessFormula(
+        precondition, teleport_program(), postcondition, CorrectnessMode.TOTAL
+    )
+    return formula, register

@@ -1,0 +1,201 @@
+"""Classical probabilistic nondeterministic substrate (Sec. 3.3.2).
+
+The paper motivates its *lifted* semantics by contrasting it with the
+*relational* model of He, Seidel & McIver [8] for classical probabilistic
+programs.  To reproduce that design-decision analysis (experiment E6) this
+module implements a miniature classical substrate:
+
+* finite probability distributions over a countable (here: finite) state space;
+* nondeterministic probabilistic programs represented extensionally;
+* the relational composition of Eq. (6) and the lifted composition of Eq. (7).
+
+The classical substrate is also used to demonstrate the property that fails in
+the quantum setting: distributions over classical states have a *unique*
+decomposition, which is exactly why the relational model is compositional
+classically but not quantumly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Hashable, Iterable, List, Sequence, Tuple
+
+__all__ = [
+    "Distribution",
+    "RelationalProgram",
+    "LiftedProgram",
+    "relational_compose",
+    "lifted_compose",
+    "distributions_equal",
+    "distribution_sets_equal",
+]
+
+State = Hashable
+
+
+@dataclass(frozen=True)
+class Distribution:
+    """A finite sub-probability distribution over classical states."""
+
+    weights: Tuple[Tuple[State, float], ...]
+
+    @classmethod
+    def from_dict(cls, mapping: Dict[State, float]) -> "Distribution":
+        """Build a distribution from a mapping, dropping zero-weight states."""
+        cleaned = {state: float(p) for state, p in mapping.items() if p > 1e-12}
+        total = sum(cleaned.values())
+        if total > 1.0 + 1e-9:
+            raise ValueError(f"total probability {total} exceeds one")
+        return cls(tuple(sorted(cleaned.items(), key=lambda item: repr(item[0]))))
+
+    @classmethod
+    def point(cls, state: State) -> "Distribution":
+        """The Dirac distribution concentrated on ``state``."""
+        return cls.from_dict({state: 1.0})
+
+    def as_dict(self) -> Dict[State, float]:
+        """Return the distribution as a mutable mapping."""
+        return dict(self.weights)
+
+    def probability(self, state: State) -> float:
+        """Return the probability assigned to ``state``."""
+        return dict(self.weights).get(state, 0.0)
+
+    def total(self) -> float:
+        """Return the total mass of the distribution (≤ 1)."""
+        return sum(p for _, p in self.weights)
+
+    def scale(self, factor: float) -> "Distribution":
+        """Return the distribution with every weight multiplied by ``factor``."""
+        return Distribution.from_dict({state: factor * p for state, p in self.weights})
+
+    def add(self, other: "Distribution") -> "Distribution":
+        """Return the pointwise sum of two (sub-)distributions."""
+        merged = self.as_dict()
+        for state, probability in other.weights:
+            merged[state] = merged.get(state, 0.0) + probability
+        return Distribution.from_dict(merged)
+
+    def support(self) -> FrozenSet[State]:
+        """Return the set of states with non-zero probability."""
+        return frozenset(state for state, _ in self.weights)
+
+
+def distributions_equal(a: Distribution, b: Distribution, atol: float = 1e-9) -> bool:
+    """Return ``True`` when two distributions assign (numerically) equal weights."""
+    states = a.support() | b.support()
+    return all(abs(a.probability(state) - b.probability(state)) <= atol for state in states)
+
+
+def distribution_sets_equal(
+    first: Iterable[Distribution], second: Iterable[Distribution], atol: float = 1e-9
+) -> bool:
+    """Return ``True`` when two sets of distributions are equal (as sets)."""
+    first = list(first)
+    second = list(second)
+
+    def included(smaller: List[Distribution], larger: List[Distribution]) -> bool:
+        return all(any(distributions_equal(d, e, atol) for e in larger) for d in smaller)
+
+    return included(first, second) and included(second, first)
+
+
+# ---------------------------------------------------------------------------
+# The two semantic models
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RelationalProgram:
+    """A program in the relational model: ``state ↦ set of output distributions``.
+
+    This is the semantics ``[[S]]_r`` of Eq. (6): the adversary resolves the
+    nondeterminism *after* seeing the intermediate state.
+    """
+
+    name: str
+    transitions: Callable[[State], Sequence[Distribution]]
+
+    def outputs(self, state: State) -> List[Distribution]:
+        """Return the set of possible output distributions from ``state``."""
+        return list(self.transitions(state))
+
+
+@dataclass(frozen=True)
+class LiftedProgram:
+    """A program in the lifted model: a set of deterministic distribution-transformers.
+
+    This is the semantics ``[[S]]_l`` of Eq. (7): every nondeterministic choice
+    is resolved up front, yielding one deterministic transformer per strategy.
+    """
+
+    name: str
+    transformers: Tuple[Callable[[State], Distribution], ...]
+
+    def outputs(self, state: State) -> List[Distribution]:
+        """Return the set of output distributions obtained by each transformer."""
+        return [transformer(state) for transformer in self.transformers]
+
+    def outputs_from_distribution(self, distribution: Distribution) -> List[Distribution]:
+        """Apply every transformer to an input distribution (by linearity)."""
+        results = []
+        for transformer in self.transformers:
+            total = Distribution.from_dict({})
+            for state, probability in distribution.weights:
+                total = total.add(transformer(state).scale(probability))
+            results.append(total)
+        return results
+
+
+def relational_compose(first: RelationalProgram, second: RelationalProgram) -> RelationalProgram:
+    """Return ``[[S; T]]_r`` following Eq. (6).
+
+    Each output distribution of the composition is obtained by choosing one
+    distribution ``μ ∈ [[S]]_r(s)`` and then, *for each intermediate state t*,
+    one distribution ``ν_t ∈ [[T]]_r(t)``, and mixing the ``ν_t`` with weights
+    ``μ(t)``.
+    """
+
+    def transitions(state: State) -> List[Distribution]:
+        results: List[Distribution] = []
+        for mu in first.outputs(state):
+            intermediate_states = sorted(mu.support(), key=repr)
+            choice_lists = [second.outputs(t) for t in intermediate_states]
+            for combination in _cartesian(choice_lists):
+                total = Distribution.from_dict({})
+                for t, nu in zip(intermediate_states, combination):
+                    total = total.add(nu.scale(mu.probability(t)))
+                if not any(distributions_equal(total, existing) for existing in results):
+                    results.append(total)
+        return results
+
+    return RelationalProgram(f"{first.name};{second.name}", transitions)
+
+
+def lifted_compose(first: LiftedProgram, second: LiftedProgram) -> LiftedProgram:
+    """Return ``[[S; T]]_l`` following Eq. (7): all compositions ``g ∘ f``."""
+
+    def composed(f: Callable[[State], Distribution], g: Callable[[State], Distribution]):
+        def transformer(state: State) -> Distribution:
+            intermediate = f(state)
+            total = Distribution.from_dict({})
+            for t, probability in intermediate.weights:
+                total = total.add(g(t).scale(probability))
+            return total
+
+        return transformer
+
+    transformers = tuple(
+        composed(f, g) for f in first.transformers for g in second.transformers
+    )
+    return LiftedProgram(f"{first.name};{second.name}", transformers)
+
+
+def _cartesian(choice_lists: Sequence[Sequence[Distribution]]) -> Iterable[Tuple[Distribution, ...]]:
+    if not choice_lists:
+        yield ()
+        return
+    head, *tail = choice_lists
+    for choice in head:
+        for rest in _cartesian(tail):
+            yield (choice,) + rest

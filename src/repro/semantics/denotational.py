@@ -1,0 +1,223 @@
+"""Lifted denotational semantics of nondeterministic quantum programs (Fig. 2).
+
+The denotation ``[[S]]`` of a program is a *set* of trace non-increasing
+super-operators over the Hilbert space of a register containing the program's
+quantum variables:
+
+* the four basic statements are deterministic and denote singletons;
+* ``[[S0; S1]] = [[S1]] ∘ [[S0]]`` element-wise (the lifted model of Sec. 3.3.2);
+* ``[[S0 □ S1]] = [[S0]] ∪ [[S1]]``;
+* ``[[if]] = [[S0]] ∘ P⁰ + [[S1]] ∘ P¹`` element-wise;
+* ``[[while]]`` is the set of least upper bounds of the chains ``F^η_n`` over
+  all schedulers ``η`` (Eq. (1)); it is approximated here by truncating each
+  chain once it has numerically converged (or after ``max_iterations``).
+
+For loop-free programs the computed set is exact (up to floating point); for
+programs with loops the caller controls which schedulers are explored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import SemanticsError
+from ..language.ast import Abort, If, Init, NDet, Program, Seq, Skip, Unitary, While
+from ..registers import QubitRegister
+from ..superop.compare import deduplicate
+from ..superop.kraus import SuperOperator
+from .schedulers import ConstantScheduler, Scheduler, constant_schedulers, sample_schedulers
+
+__all__ = [
+    "DenotationOptions",
+    "denotation",
+    "apply_denotation",
+    "loop_iterates",
+    "measurement_superoperators",
+]
+
+
+@dataclass
+class DenotationOptions:
+    """Options steering the (approximate) computation of loop denotations.
+
+    Attributes
+    ----------
+    max_iterations:
+        Truncation bound for the while-loop chains ``F^η_n``.
+    convergence_tolerance:
+        The chain is considered converged when the trace norm of the increment
+        between consecutive iterates drops below this value.
+    schedulers:
+        Explicit schedulers to explore for every loop.  When ``None``, all
+        constant schedulers are used plus ``sampled_schedulers`` random ones.
+    sampled_schedulers:
+        Number of additional pseudo-random schedulers to sample per loop.
+    simplify_threshold:
+        Kraus decompositions larger than this are re-canonicalised via the Choi
+        matrix to keep compositions tractable.
+    dedup:
+        Whether to remove duplicate super-operators from denotation sets.
+    """
+
+    max_iterations: int = 64
+    convergence_tolerance: float = 1e-9
+    schedulers: Optional[Sequence[Scheduler]] = None
+    sampled_schedulers: int = 2
+    simplify_threshold: int = 64
+    dedup: bool = True
+
+
+def measurement_superoperators(statement, register: QubitRegister):
+    """Return the pair ``(P⁰, P¹)`` of projection super-operators of a measurement node."""
+    p0 = register.embed(statement.measurement.p0, statement.qubits)
+    p1 = register.embed(statement.measurement.p1, statement.qubits)
+    return SuperOperator([p0], validate=False), SuperOperator([p1], validate=False)
+
+
+def denotation(
+    program: Program,
+    register: QubitRegister | None = None,
+    options: DenotationOptions | None = None,
+) -> List[SuperOperator]:
+    """Compute (an approximation of) the denotation ``[[S]]`` over ``register``.
+
+    The result is exact for loop-free programs.  For programs containing while
+    loops, one super-operator per explored scheduler is produced, each obtained
+    by truncating the non-decreasing chain of Eq. (1) at numerical convergence.
+    """
+    register = register or QubitRegister.for_program(program)
+    options = options or DenotationOptions()
+    missing = set(program.quantum_variables()) - set(register.names)
+    if missing:
+        raise SemanticsError(f"register does not contain program variables {sorted(missing)}")
+    maps = _denote(program, register, options)
+    if options.dedup:
+        maps = deduplicate(maps)
+    return maps
+
+
+def apply_denotation(
+    program: Program,
+    rho: np.ndarray,
+    register: QubitRegister | None = None,
+    options: DenotationOptions | None = None,
+) -> List[np.ndarray]:
+    """Return ``[[S]](ρ)``: the set of output states under every explored branch."""
+    register = register or QubitRegister.for_program(program)
+    maps = denotation(program, register, options)
+    return [channel.apply(rho) for channel in maps]
+
+
+# ---------------------------------------------------------------------------
+# Structural recursion
+# ---------------------------------------------------------------------------
+
+
+def _denote(program: Program, register: QubitRegister, options: DenotationOptions) -> List[SuperOperator]:
+    dimension = register.dimension
+
+    if isinstance(program, Skip):
+        return [SuperOperator.identity(dimension)]
+    if isinstance(program, Abort):
+        return [SuperOperator.zero(dimension)]
+    if isinstance(program, Init):
+        channel = SuperOperator.initializer(len(program.qubits)).embed(program.qubits, register)
+        return [channel]
+    if isinstance(program, Unitary):
+        embedded = register.embed(program.matrix, program.qubits)
+        return [SuperOperator([embedded], validate=False)]
+    if isinstance(program, Seq):
+        current = [SuperOperator.identity(dimension)]
+        for statement in program.statements:
+            step = _denote(statement, register, options)
+            current = [
+                _maybe_simplify(later.compose(earlier), options)
+                for earlier in current
+                for later in step
+            ]
+            if options.dedup and len(current) > 1:
+                current = deduplicate(current)
+        return current
+    if isinstance(program, NDet):
+        maps: List[SuperOperator] = []
+        for branch in program.branches:
+            maps.extend(_denote(branch, register, options))
+        return maps
+    if isinstance(program, If):
+        p0, p1 = measurement_superoperators(program, register)
+        else_maps = _denote(program.else_branch, register, options)
+        then_maps = _denote(program.then_branch, register, options)
+        combined = []
+        for else_map in else_maps:
+            for then_map in then_maps:
+                total = else_map.compose(p0) + then_map.compose(p1)
+                combined.append(_maybe_simplify(total, options))
+        return combined
+    if isinstance(program, While):
+        return _denote_while(program, register, options)
+    raise SemanticsError(f"unknown program construct {type(program).__name__}")
+
+
+def _denote_while(
+    program: While, register: QubitRegister, options: DenotationOptions
+) -> List[SuperOperator]:
+    body_maps = _denote(program.body, register, options)
+    schedulers = list(options.schedulers) if options.schedulers is not None else None
+    if schedulers is None:
+        schedulers = list(constant_schedulers(len(body_maps)))
+        if len(body_maps) > 1 and options.sampled_schedulers > 0:
+            schedulers.extend(sample_schedulers(options.sampled_schedulers))
+    results = []
+    for scheduler in schedulers:
+        iterates = loop_iterates(program, register, body_maps, scheduler, options)
+        results.append(iterates[-1])
+    return results
+
+
+def loop_iterates(
+    program: While,
+    register: QubitRegister,
+    body_maps: Sequence[SuperOperator],
+    scheduler: Scheduler,
+    options: DenotationOptions | None = None,
+) -> List[SuperOperator]:
+    """Return the chain ``F^η_0 ⪯ F^η_1 ⪯ …`` of Eq. (1) under one scheduler.
+
+    The chain is truncated at numerical convergence (increment below the
+    configured tolerance) or after ``max_iterations`` elements.  The final
+    element approximates the least upper bound, i.e. the loop's semantics under
+    the scheduler.
+    """
+    options = options or DenotationOptions()
+    p0, p1 = measurement_superoperators(program, register)
+    dimension = register.dimension
+
+    iterates: List[SuperOperator] = []
+    # prefix_i = η_i ∘ P¹ ∘ … ∘ η_1 ∘ P¹ ; the i = 0 prefix is the identity map.
+    prefix = SuperOperator.identity(dimension)
+    total = p0.compose(prefix)
+    iterates.append(total)
+    for iteration in range(1, options.max_iterations + 1):
+        choice = scheduler.select(iteration, len(body_maps))
+        prefix = _maybe_simplify(body_maps[choice].compose(p1).compose(prefix), options)
+        increment = p0.compose(prefix)
+        new_total = _maybe_simplify(total + increment, options)
+        iterates.append(new_total)
+        gap = float(np.abs(new_total.choi() - total.choi()).sum())
+        total = new_total
+        if gap < options.convergence_tolerance:
+            break
+        # Once the prefix itself is (numerically) zero the loop can never
+        # produce further contributions, e.g. for almost-surely terminating loops.
+        if prefix.probability_bound() < options.convergence_tolerance:
+            break
+    return iterates
+
+
+def _maybe_simplify(channel: SuperOperator, options: DenotationOptions) -> SuperOperator:
+    if len(channel.kraus_operators) > options.simplify_threshold:
+        return channel.simplified()
+    return channel

@@ -1,0 +1,37 @@
+"""Super-operator substrate (S2): Kraus maps, Choi matrices, channels and orderings."""
+
+from .channels import (
+    amplitude_damping_channel,
+    bit_flip_channel,
+    bit_phase_flip_channel,
+    depolarizing_channel,
+    initialization_channel,
+    measurement_channel,
+    phase_damping_channel,
+    phase_flip_channel,
+    probabilistic_mixture,
+    projection_channel,
+    reset_channel,
+    unitary_channel,
+)
+from .choi import (
+    choi_from_apply,
+    choi_matrix,
+    choi_precedes,
+    is_cp_choi,
+    is_tni_choi,
+    is_tp_choi,
+    kraus_from_choi,
+)
+from .compare import (
+    convergence_gap,
+    deduplicate,
+    lub_of_chain,
+    set_equal,
+    set_subset,
+    superoperator_equal,
+    superoperator_precedes,
+)
+from .kraus import SuperOperator
+
+__all__ = [name for name in dir() if not name.startswith("_")]

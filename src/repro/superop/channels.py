@@ -1,0 +1,139 @@
+"""A zoo of standard quantum channels.
+
+These factory functions build the :class:`~repro.superop.kraus.SuperOperator`
+instances used throughout the examples, the noise models of the error
+correction case study, and the measurement-derived channels of Fig. 2.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import SuperOperatorError
+from ..linalg.constants import I2, X, Y, Z
+from ..linalg.operators import is_projector
+from .kraus import SuperOperator
+
+__all__ = [
+    "unitary_channel",
+    "measurement_channel",
+    "projection_channel",
+    "initialization_channel",
+    "bit_flip_channel",
+    "phase_flip_channel",
+    "bit_phase_flip_channel",
+    "depolarizing_channel",
+    "amplitude_damping_channel",
+    "phase_damping_channel",
+    "reset_channel",
+    "probabilistic_mixture",
+]
+
+
+def unitary_channel(unitary: np.ndarray) -> SuperOperator:
+    """Return the channel ``ρ ↦ UρU†``."""
+    return SuperOperator.from_unitary(unitary)
+
+
+def projection_channel(projector: np.ndarray) -> SuperOperator:
+    """Return the (trace non-increasing) channel ``ρ ↦ PρP`` for a projector ``P``.
+
+    This is the super-operator written ``P^i`` in Fig. 2 of the paper.
+    """
+    projector = np.asarray(projector, dtype=complex)
+    if not is_projector(projector):
+        raise SuperOperatorError("projection_channel requires a projector")
+    return SuperOperator([projector], validate=False)
+
+
+def measurement_channel(projectors: Sequence[np.ndarray]) -> SuperOperator:
+    """Return the channel ``ρ ↦ Σ_i P_i ρ P_i`` summing over all measurement branches."""
+    for projector in projectors:
+        if not is_projector(np.asarray(projector, dtype=complex)):
+            raise SuperOperatorError("measurement_channel requires projectors")
+    return SuperOperator.from_projectors(projectors)
+
+
+def initialization_channel(num_qubits: int) -> SuperOperator:
+    """Return the ``Set0`` channel resetting ``num_qubits`` qubits to ``|0…0⟩``."""
+    return SuperOperator.initializer(num_qubits)
+
+
+def reset_channel() -> SuperOperator:
+    """Return the single-qubit reset channel (alias of :func:`initialization_channel`)."""
+    return initialization_channel(1)
+
+
+def bit_flip_channel(probability: float) -> SuperOperator:
+    """Return the single-qubit bit-flip channel flipping with the given probability."""
+    _check_probability(probability)
+    return SuperOperator(
+        [np.sqrt(1 - probability) * I2, np.sqrt(probability) * X], validate=False
+    )
+
+
+def phase_flip_channel(probability: float) -> SuperOperator:
+    """Return the single-qubit phase-flip channel."""
+    _check_probability(probability)
+    return SuperOperator(
+        [np.sqrt(1 - probability) * I2, np.sqrt(probability) * Z], validate=False
+    )
+
+
+def bit_phase_flip_channel(probability: float) -> SuperOperator:
+    """Return the single-qubit bit–phase-flip (Y error) channel."""
+    _check_probability(probability)
+    return SuperOperator(
+        [np.sqrt(1 - probability) * I2, np.sqrt(probability) * Y], validate=False
+    )
+
+
+def depolarizing_channel(probability: float) -> SuperOperator:
+    """Return the single-qubit depolarising channel with error probability ``probability``."""
+    _check_probability(probability)
+    kraus = [
+        np.sqrt(1 - probability) * I2,
+        np.sqrt(probability / 3) * X,
+        np.sqrt(probability / 3) * Y,
+        np.sqrt(probability / 3) * Z,
+    ]
+    return SuperOperator(kraus, validate=False)
+
+
+def amplitude_damping_channel(gamma: float) -> SuperOperator:
+    """Return the single-qubit amplitude-damping channel with damping rate ``gamma``."""
+    _check_probability(gamma)
+    k0 = np.array([[1, 0], [0, np.sqrt(1 - gamma)]], dtype=complex)
+    k1 = np.array([[0, np.sqrt(gamma)], [0, 0]], dtype=complex)
+    return SuperOperator([k0, k1], validate=False)
+
+
+def phase_damping_channel(gamma: float) -> SuperOperator:
+    """Return the single-qubit phase-damping channel with rate ``gamma``."""
+    _check_probability(gamma)
+    k0 = np.array([[1, 0], [0, np.sqrt(1 - gamma)]], dtype=complex)
+    k1 = np.array([[0, 0], [0, np.sqrt(gamma)]], dtype=complex)
+    return SuperOperator([k0, k1], validate=False)
+
+
+def probabilistic_mixture(
+    channels: Sequence[SuperOperator], probabilities: Sequence[float]
+) -> SuperOperator:
+    """Return the convex mixture ``Σ_i p_i E_i`` of channels."""
+    if len(channels) != len(probabilities):
+        raise SuperOperatorError("mixture needs one probability per channel")
+    if any(p < 0 for p in probabilities) or abs(sum(probabilities) - 1.0) > 1e-9:
+        raise SuperOperatorError("mixture probabilities must be non-negative and sum to one")
+    result: SuperOperator | None = None
+    for channel, probability in zip(channels, probabilities):
+        scaled = probability * channel
+        result = scaled if result is None else result + scaled
+    assert result is not None
+    return result
+
+
+def _check_probability(value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise SuperOperatorError(f"probability {value} is outside [0, 1]")

@@ -1,0 +1,114 @@
+"""Choi–Jamiolkowski representation of super-operators.
+
+The Choi matrix gives a faithful finite-dimensional representation of a
+completely positive map: two Kraus decompositions describe the same map iff
+their Choi matrices coincide, and ``E`` is completely positive iff its Choi
+matrix is positive semidefinite.  The comparison of super-operators under the
+CPO order ``⪯`` of Sec. 3.2 reduces (Lemma 3.1) to a Löwner comparison of Choi
+matrices.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from ..exceptions import LinalgError
+from ..linalg.constants import ATOL
+from ..linalg.operators import dagger, is_positive, loewner_le
+
+__all__ = [
+    "choi_matrix",
+    "choi_from_apply",
+    "kraus_from_choi",
+    "is_cp_choi",
+    "is_tp_choi",
+    "is_tni_choi",
+    "choi_precedes",
+]
+
+
+def choi_matrix(kraus_operators: Iterable[np.ndarray]) -> np.ndarray:
+    """Return the Choi matrix ``Σ_i vec(E_i) vec(E_i)†`` of a Kraus decomposition.
+
+    ``vec`` stacks matrix rows, so the Choi matrix equals
+    ``Σ_{jk} |j⟩⟨k| ⊗ E(|j⟩⟨k|)`` up to the chosen vectorisation convention.
+    """
+    kraus = [np.asarray(operator, dtype=complex) for operator in kraus_operators]
+    if not kraus:
+        raise LinalgError("a Choi matrix needs at least one Kraus operator")
+    dimension = kraus[0].shape[0]
+    choi = np.zeros((dimension * dimension, dimension * dimension), dtype=complex)
+    for operator in kraus:
+        vectorised = operator.reshape(-1, 1)
+        choi = choi + vectorised @ dagger(vectorised)
+    return choi
+
+
+def choi_from_apply(apply_map, dimension: int) -> np.ndarray:
+    """Build the Choi matrix of an arbitrary linear map given as a callable.
+
+    ``apply_map`` must accept and return ``dimension × dimension`` matrices.
+    The result uses the same (output ⊗ input) vectorisation convention as
+    :func:`choi_matrix`, so both constructions agree on any completely positive
+    map.  Used to certify complete positivity of maps defined extensionally.
+    """
+    tensor = np.zeros((dimension, dimension, dimension, dimension), dtype=complex)
+    for row in range(dimension):
+        for column in range(dimension):
+            unit = np.zeros((dimension, dimension), dtype=complex)
+            unit[row, column] = 1.0
+            image = np.asarray(apply_map(unit), dtype=complex)
+            # choi[(a, row), (b, column)] = E(|row⟩⟨column|)[a, b]
+            tensor[:, row, :, column] = image
+    return tensor.reshape(dimension * dimension, dimension * dimension)
+
+
+def kraus_from_choi(choi: np.ndarray, atol: float = 1e-10) -> List[np.ndarray]:
+    """Recover a minimal Kraus decomposition from a Choi matrix."""
+    choi = np.asarray(choi, dtype=complex)
+    side = choi.shape[0]
+    dimension = int(round(np.sqrt(side)))
+    if dimension * dimension != side:
+        raise LinalgError("Choi matrix side length must be a perfect square")
+    eigenvalues, eigenvectors = np.linalg.eigh((choi + dagger(choi)) / 2)
+    kraus: List[np.ndarray] = []
+    for value, column in zip(eigenvalues, eigenvectors.T):
+        if value > atol:
+            kraus.append(np.sqrt(value) * column.reshape(dimension, dimension))
+    if not kraus:
+        kraus.append(np.zeros((dimension, dimension), dtype=complex))
+    return kraus
+
+
+def is_cp_choi(choi: np.ndarray, atol: float = ATOL) -> bool:
+    """Return ``True`` when the Choi matrix certifies a completely positive map."""
+    return is_positive(choi, atol=max(atol, 1e-7))
+
+
+def _partial_trace_output(choi: np.ndarray) -> np.ndarray:
+    """Trace out the output system of a Choi matrix, yielding ``(Σ_i E_i†E_i)ᵀ``."""
+    choi = np.asarray(choi, dtype=complex)
+    side = choi.shape[0]
+    dimension = int(round(np.sqrt(side)))
+    reshaped = choi.reshape(dimension, dimension, dimension, dimension)
+    # Axes for the (output ⊗ input) convention: (row-out, row-in, col-out, col-in).
+    return np.trace(reshaped, axis1=0, axis2=2)
+
+
+def is_tp_choi(choi: np.ndarray, atol: float = 1e-7) -> bool:
+    """Return ``True`` when the Choi matrix corresponds to a trace-preserving map."""
+    reduced = _partial_trace_output(choi)
+    return bool(np.allclose(reduced, np.eye(reduced.shape[0]), atol=atol))
+
+
+def is_tni_choi(choi: np.ndarray, atol: float = 1e-7) -> bool:
+    """Return ``True`` when the Choi matrix corresponds to a trace non-increasing map."""
+    reduced = _partial_trace_output(choi)
+    return loewner_le(reduced, np.eye(reduced.shape[0]), atol=atol)
+
+
+def choi_precedes(choi_a: np.ndarray, choi_b: np.ndarray, atol: float = 1e-7) -> bool:
+    """Return ``True`` when the map of ``choi_a`` precedes that of ``choi_b`` (Lemma 3.1)."""
+    return is_positive(np.asarray(choi_b) - np.asarray(choi_a), atol=atol)

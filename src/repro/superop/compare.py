@@ -1,0 +1,90 @@
+"""Comparison utilities on super-operators and sets of super-operators.
+
+The denotational semantics of a nondeterministic program is a *set* of
+super-operators; these helpers implement equality and the CPO order on
+individual maps (Lemma 3.1) and the induced comparisons on finite sets, which
+are used by the semantic model checker and the tests of Lemma 3.2.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .kraus import SuperOperator
+
+__all__ = [
+    "superoperator_equal",
+    "superoperator_precedes",
+    "set_equal",
+    "set_subset",
+    "lub_of_chain",
+    "deduplicate",
+]
+
+
+def superoperator_equal(a: SuperOperator, b: SuperOperator, atol: float = 1e-7) -> bool:
+    """Return ``True`` when the two maps agree (Choi matrices coincide)."""
+    return a.equals(b, atol=atol)
+
+
+def superoperator_precedes(a: SuperOperator, b: SuperOperator, atol: float = 1e-7) -> bool:
+    """Return ``True`` when ``a ⪯ b``, i.e. ``b − a`` is completely positive."""
+    return a.precedes(b, atol=atol)
+
+
+def deduplicate(maps: Iterable[SuperOperator], atol: float = 1e-7) -> list[SuperOperator]:
+    """Return the input maps with (numerical) duplicates removed, preserving order."""
+    unique: list[SuperOperator] = []
+    for candidate in maps:
+        if not any(candidate.equals(existing, atol=atol) for existing in unique):
+            unique.append(candidate)
+    return unique
+
+
+def set_subset(
+    smaller: Iterable[SuperOperator], larger: Iterable[SuperOperator], atol: float = 1e-7
+) -> bool:
+    """Return ``True`` when every map in ``smaller`` also occurs in ``larger``."""
+    larger = list(larger)
+    for candidate in smaller:
+        if not any(candidate.equals(existing, atol=atol) for existing in larger):
+            return False
+    return True
+
+
+def set_equal(
+    a: Iterable[SuperOperator], b: Iterable[SuperOperator], atol: float = 1e-7
+) -> bool:
+    """Return ``True`` when the two sets of maps are equal up to numerical tolerance."""
+    a = list(a)
+    b = list(b)
+    return set_subset(a, b, atol=atol) and set_subset(b, a, atol=atol)
+
+
+def lub_of_chain(chain: Sequence[SuperOperator], atol: float = 1e-6) -> SuperOperator:
+    """Return the last element of a ⪯-chain, checking that it is indeed non-decreasing.
+
+    The least upper bound of a finite prefix of a non-decreasing chain is its
+    last element; this helper is used when truncating the while-loop fixpoint
+    (Eq. (1) of the paper) to finitely many iterations.
+    """
+    if not chain:
+        raise ValueError("lub_of_chain requires a non-empty chain")
+    for earlier, later in zip(chain, chain[1:]):
+        if not earlier.precedes(later, atol=atol):
+            raise ValueError("sequence is not a ⪯-chain")
+    return chain[-1]
+
+
+def convergence_gap(chain: Sequence[SuperOperator]) -> float:
+    """Return the trace-norm gap between the last two elements of a chain.
+
+    Used to decide when the truncated loop semantics has numerically converged.
+    """
+    if len(chain) < 2:
+        return float("inf")
+    difference = chain[-1].choi() - chain[-2].choi()
+    singular_values = np.linalg.svd(difference, compute_uv=False)
+    return float(np.sum(singular_values))

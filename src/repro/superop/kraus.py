@@ -1,0 +1,275 @@
+"""Super-operators in Kraus form (Sec. 2 of the paper).
+
+A :class:`SuperOperator` is a completely positive, trace non-increasing linear
+map on the operators of a fixed-dimension Hilbert space, represented by a
+finite list of Kraus operators ``{E_i}`` so that ``E(ρ) = Σ_i E_i ρ E_i†``.
+
+The class supports exactly the algebra used by the denotational and weakest
+precondition semantics: application to states, adjoint application to
+predicates, composition, pointwise addition, scaling, tensor products and the
+CPO order ``⪯`` of Sec. 3.2.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from ..exceptions import DimensionMismatchError, SuperOperatorError
+from ..linalg.constants import ATOL
+from ..linalg.operators import dagger, is_positive, is_unitary, loewner_le, num_qubits_of
+from .choi import choi_matrix
+
+__all__ = ["SuperOperator"]
+
+
+class SuperOperator:
+    """A completely positive map given by Kraus operators.
+
+    Parameters
+    ----------
+    kraus_operators:
+        Non-empty sequence of equally-shaped square matrices.
+    validate:
+        When ``True`` (default) the constructor checks that the map is trace
+        non-increasing (``Σ E_i†E_i ⊑ I``), as assumed throughout the paper.
+    """
+
+    __slots__ = ("_kraus", "_dimension")
+
+    def __init__(self, kraus_operators: Iterable[np.ndarray], validate: bool = True):
+        kraus = [np.asarray(operator, dtype=complex) for operator in kraus_operators]
+        if not kraus:
+            raise SuperOperatorError("a super-operator needs at least one Kraus operator")
+        dimension = kraus[0].shape[0]
+        for operator in kraus:
+            if operator.ndim != 2 or operator.shape != (dimension, dimension):
+                raise DimensionMismatchError(
+                    f"all Kraus operators must be {dimension}x{dimension} square matrices"
+                )
+        self._kraus: List[np.ndarray] = kraus
+        self._dimension = dimension
+        if validate and not self.is_trace_nonincreasing():
+            raise SuperOperatorError("super-operator is not trace non-increasing")
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def identity(cls, dimension: int) -> "SuperOperator":
+        """Return the identity super-operator on a ``dimension``-dimensional space."""
+        return cls([np.eye(dimension, dtype=complex)], validate=False)
+
+    @classmethod
+    def zero(cls, dimension: int) -> "SuperOperator":
+        """Return the zero super-operator (the semantics of ``abort``)."""
+        return cls([np.zeros((dimension, dimension), dtype=complex)], validate=False)
+
+    @classmethod
+    def from_unitary(cls, unitary: np.ndarray) -> "SuperOperator":
+        """Return the unitary super-operator ``ρ ↦ UρU†``."""
+        unitary = np.asarray(unitary, dtype=complex)
+        if not is_unitary(unitary):
+            raise SuperOperatorError("from_unitary requires a unitary matrix")
+        return cls([unitary], validate=False)
+
+    @classmethod
+    def from_kraus(cls, kraus_operators: Iterable[np.ndarray]) -> "SuperOperator":
+        """Alias of the constructor, for readability at call sites."""
+        return cls(kraus_operators)
+
+    @classmethod
+    def scalar(cls, value: float, dimension: int) -> "SuperOperator":
+        """Return ``value · I`` as a super-operator (``value`` must lie in ``[0, 1]``).
+
+        This realises the paper's convention that a probability ``p ∈ [0, 1]``
+        can be read as the super-operator ``p · I`` on any system; in particular
+        ``1`` is the semantics of ``skip`` and ``0`` the semantics of ``abort``.
+        """
+        if not 0.0 <= value <= 1.0 + ATOL:
+            raise SuperOperatorError("a scalar super-operator must have a value in [0, 1]")
+        return cls([np.sqrt(value) * np.eye(dimension, dtype=complex)], validate=False)
+
+    @classmethod
+    def from_projectors(cls, projectors: Iterable[np.ndarray]) -> "SuperOperator":
+        """Return the measurement channel ``ρ ↦ Σ_i P_i ρ P_i``."""
+        return cls(list(projectors))
+
+    @classmethod
+    def initializer(cls, num_qubits: int) -> "SuperOperator":
+        """Return the ``Set0`` channel that resets ``num_qubits`` qubits to ``|0…0⟩``.
+
+        Kraus operators are ``|0⟩⟨i|`` for each basis vector ``|i⟩`` (Fig. 2).
+        """
+        dimension = 2 ** num_qubits
+        kraus = []
+        for index in range(dimension):
+            operator = np.zeros((dimension, dimension), dtype=complex)
+            operator[0, index] = 1.0
+            kraus.append(operator)
+        return cls(kraus, validate=False)
+
+    # ------------------------------------------------------------- properties
+    @property
+    def kraus_operators(self) -> List[np.ndarray]:
+        """The list of Kraus operators (copies are not made; treat as read-only)."""
+        return self._kraus
+
+    @property
+    def dimension(self) -> int:
+        """Dimension of the underlying Hilbert space."""
+        return self._dimension
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits of the underlying space."""
+        return num_qubits_of(self._kraus[0])
+
+    def kraus_gram(self) -> np.ndarray:
+        """Return ``Σ_i E_i† E_i`` — equals ``I`` exactly for trace-preserving maps."""
+        gram = np.zeros((self._dimension, self._dimension), dtype=complex)
+        for operator in self._kraus:
+            gram = gram + dagger(operator) @ operator
+        return gram
+
+    def is_trace_preserving(self, atol: float = ATOL) -> bool:
+        """Return ``True`` when ``Σ E_i†E_i = I`` up to ``atol``."""
+        return bool(np.allclose(self.kraus_gram(), np.eye(self._dimension), atol=max(atol, 1e-7)))
+
+    def is_trace_nonincreasing(self, atol: float = ATOL) -> bool:
+        """Return ``True`` when ``Σ E_i†E_i ⊑ I`` up to ``atol``."""
+        return loewner_le(self.kraus_gram(), np.eye(self._dimension), atol=max(atol, 1e-7))
+
+    def choi(self) -> np.ndarray:
+        """Return the (unnormalised) Choi matrix of the map."""
+        return choi_matrix(self._kraus)
+
+    # -------------------------------------------------------------- application
+    def apply(self, rho: np.ndarray) -> np.ndarray:
+        """Apply the super-operator to a (partial) density operator."""
+        rho = np.asarray(rho, dtype=complex)
+        if rho.shape != (self._dimension, self._dimension):
+            raise DimensionMismatchError(
+                f"state of shape {rho.shape} incompatible with dimension {self._dimension}"
+            )
+        result = np.zeros_like(rho)
+        for operator in self._kraus:
+            result = result + operator @ rho @ dagger(operator)
+        return result
+
+    def __call__(self, rho: np.ndarray) -> np.ndarray:
+        return self.apply(rho)
+
+    def apply_adjoint(self, observable: np.ndarray) -> np.ndarray:
+        """Apply the adjoint map ``E†(M) = Σ_i E_i† M E_i`` to a predicate/observable."""
+        observable = np.asarray(observable, dtype=complex)
+        if observable.shape != (self._dimension, self._dimension):
+            raise DimensionMismatchError(
+                f"observable of shape {observable.shape} incompatible with dimension {self._dimension}"
+            )
+        result = np.zeros_like(observable)
+        for operator in self._kraus:
+            result = result + dagger(operator) @ observable @ operator
+        return result
+
+    def adjoint(self) -> "SuperOperator":
+        """Return ``E†`` as a super-operator (Kraus operators ``E_i†``).
+
+        Note the adjoint of a trace non-increasing map is generally *not* trace
+        non-increasing, so no validation is performed.
+        """
+        return SuperOperator([dagger(operator) for operator in self._kraus], validate=False)
+
+    # ------------------------------------------------------------------ algebra
+    def compose(self, other: "SuperOperator") -> "SuperOperator":
+        """Return ``self ∘ other`` (first ``other``, then ``self``)."""
+        self._check_dimension(other)
+        kraus = [a @ b for a in self._kraus for b in other._kraus]
+        return SuperOperator(kraus, validate=False)
+
+    def then(self, other: "SuperOperator") -> "SuperOperator":
+        """Return ``other ∘ self`` (first ``self``, then ``other``)."""
+        return other.compose(self)
+
+    def __matmul__(self, other: "SuperOperator") -> "SuperOperator":
+        return self.compose(other)
+
+    def __add__(self, other: "SuperOperator") -> "SuperOperator":
+        self._check_dimension(other)
+        return SuperOperator(self._kraus + other._kraus, validate=False)
+
+    def __mul__(self, scalar: float) -> "SuperOperator":
+        if scalar < -ATOL:
+            raise SuperOperatorError("super-operators can only be scaled by non-negative factors")
+        factor = np.sqrt(max(scalar, 0.0))
+        return SuperOperator([factor * operator for operator in self._kraus], validate=False)
+
+    __rmul__ = __mul__
+
+    def tensor(self, other: "SuperOperator") -> "SuperOperator":
+        """Return the tensor product ``self ⊗ other``."""
+        kraus = [np.kron(a, b) for a in self._kraus for b in other._kraus]
+        return SuperOperator(kraus, validate=False)
+
+    def embed(self, qubits: Sequence[str], register) -> "SuperOperator":
+        """Return the cylinder extension of the map onto a full :class:`QubitRegister`."""
+        kraus = [register.embed(operator, qubits) for operator in self._kraus]
+        return SuperOperator(kraus, validate=False)
+
+    # ----------------------------------------------------------------- ordering
+    def equals(self, other: "SuperOperator", atol: float = 1e-7) -> bool:
+        """Return ``True`` when both maps are equal (same Choi matrix)."""
+        if self._dimension != other._dimension:
+            return False
+        return bool(np.allclose(self.choi(), other.choi(), atol=atol))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SuperOperator) and self.equals(other)
+
+    def __hash__(self) -> int:
+        choi = np.round(self.choi(), 6)
+        return hash((self._dimension, choi.tobytes()))
+
+    def precedes(self, other: "SuperOperator", atol: float = 1e-7) -> bool:
+        """Return ``True`` when ``self ⪯ other`` in the CPO of super-operators.
+
+        By Lemma 3.1 this holds iff ``other − self`` is completely positive,
+        i.e. iff the difference of Choi matrices is positive semidefinite.
+        """
+        if self._dimension != other._dimension:
+            return False
+        difference = other.choi() - self.choi()
+        return is_positive(difference, atol=max(atol, 1e-7))
+
+    # ------------------------------------------------------------------ misc
+    def simplified(self, atol: float = 1e-10) -> "SuperOperator":
+        """Return an equivalent map with a minimal Kraus decomposition.
+
+        The canonical Kraus operators are recovered from the eigendecomposition
+        of the Choi matrix; eigenvalues below ``atol`` are dropped.  This keeps
+        the number of Kraus operators from exploding when composing many maps
+        (important for loop fixpoints and the Grover performance experiment).
+        """
+        choi = self.choi()
+        eigenvalues, eigenvectors = np.linalg.eigh((choi + dagger(choi)) / 2)
+        kraus: List[np.ndarray] = []
+        for value, column in zip(eigenvalues, eigenvectors.T):
+            if value > atol:
+                operator = np.sqrt(value) * column.reshape(self._dimension, self._dimension)
+                kraus.append(operator)
+        if not kraus:
+            return SuperOperator.zero(self._dimension)
+        return SuperOperator(kraus, validate=False)
+
+    def probability_bound(self) -> float:
+        """Return ``λ_max(Σ E_i†E_i)`` — the maximal success probability over inputs."""
+        eigenvalues = np.linalg.eigvalsh(self.kraus_gram())
+        return float(max(eigenvalues.max(), 0.0))
+
+    def _check_dimension(self, other: "SuperOperator") -> None:
+        if self._dimension != other._dimension:
+            raise DimensionMismatchError(
+                f"super-operators act on different dimensions: {self._dimension} vs {other._dimension}"
+            )
+
+    def __repr__(self) -> str:
+        return f"SuperOperator(dim={self._dimension}, kraus={len(self._kraus)})"

@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.language.names import default_environment
+from repro.registers import QubitRegister
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator shared by tests that need randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def one_qubit_register():
+    """A single-qubit register named ``q``."""
+    return QubitRegister(["q"])
+
+
+@pytest.fixture
+def two_qubit_register():
+    """The two-qubit register ``(q1, q2)`` used by the quantum-walk examples."""
+    return QubitRegister(["q1", "q2"])
+
+
+@pytest.fixture
+def three_qubit_register():
+    """The three-qubit register ``(q, q1, q2)`` used by the error-correction examples."""
+    return QubitRegister(["q", "q1", "q2"])
+
+
+@pytest.fixture
+def environment():
+    """The default operator environment (reserved NQPV names)."""
+    return default_environment()

@@ -1,0 +1,80 @@
+"""Unit tests for the hand-written lexer."""
+
+import pytest
+
+from repro.exceptions import ParseError
+from repro.language.lexer import Token, tokenize
+
+
+def kinds(source):
+    return [token.kind for token in tokenize(source)]
+
+
+class TestTokenKinds:
+    def test_keywords_vs_identifiers(self):
+        tokens = tokenize("skip abort while foo end inv")
+        assert [t.kind for t in tokens[:-1]] == ["SKIP", "ABORT", "WHILE", "ID", "END", "INV"]
+
+    def test_punctuation(self):
+        assert kinds("[ ] { } ( ) ; # : ,")[:-1] == [
+            "LBRACKET",
+            "RBRACKET",
+            "LBRACE",
+            "RBRACE",
+            "LPAREN",
+            "RPAREN",
+            "SEMICOLON",
+            "HASH",
+            "COLON",
+            "COMMA",
+        ]
+
+    def test_compound_operators(self):
+        tokens = tokenize("[q] := 0 ; [q] *= X")
+        assert "ASSIGN" in [t.kind for t in tokens]
+        assert "MUL_ASSIGN" in [t.kind for t in tokens]
+
+    def test_numbers_and_strings(self):
+        tokens = tokenize('0 3.5 "file.npy"')
+        assert tokens[0].kind == "NUMBER" and tokens[0].value == "0"
+        assert tokens[1].kind == "NUMBER" and tokens[1].value == "3.5"
+        assert tokens[2].kind == "STRING" and tokens[2].value == "file.npy"
+
+    def test_identifiers_with_underscores_and_digits(self):
+        tokens = tokenize("inv_N2 W1")
+        assert tokens[0].kind == "ID" and tokens[0].value == "inv_N2"
+        assert tokens[1].kind == "ID" and tokens[1].value == "W1"
+
+    def test_eof_is_always_last(self):
+        assert tokenize("")[-1].kind == "EOF"
+        assert tokenize("skip")[-1].kind == "EOF"
+
+
+class TestCommentsAndPositions:
+    def test_line_comments_are_skipped(self):
+        tokens = tokenize("skip // this is a comment\nabort")
+        assert [t.kind for t in tokens[:-1]] == ["SKIP", "ABORT"]
+
+    def test_positions_are_tracked(self):
+        tokens = tokenize("skip\n  abort")
+        assert tokens[0].line == 1 and tokens[0].column == 1
+        assert tokens[1].line == 2 and tokens[1].column == 3
+
+    def test_token_repr(self):
+        token = tokenize("skip")[0]
+        assert "SKIP" in repr(token)
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            tokenize("skip $")
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize('load "unterminated')
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            tokenize("skip\n  @")
+        assert excinfo.value.line == 2

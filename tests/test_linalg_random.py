@@ -1,0 +1,89 @@
+"""Unit tests for the seeded random generators of :mod:`repro.linalg.random`."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.operators import (
+    is_density_operator,
+    is_hermitian,
+    is_partial_density_operator,
+    is_predicate_matrix,
+    is_projector,
+    is_unitary,
+    loewner_le,
+    operators_close,
+)
+from repro.linalg.random import (
+    random_density_operator,
+    random_hermitian,
+    random_kraus_operators,
+    random_partial_density_operator,
+    random_predicate_matrix,
+    random_projector,
+    random_state_vector,
+    random_unitary,
+    rng_from,
+)
+
+
+class TestReproducibility:
+    def test_same_seed_same_result(self):
+        assert operators_close(random_unitary(4, seed=7), random_unitary(4, seed=7))
+        assert operators_close(
+            random_density_operator(4, seed=11), random_density_operator(4, seed=11)
+        )
+
+    def test_different_seeds_differ(self):
+        assert not operators_close(random_unitary(4, seed=1), random_unitary(4, seed=2))
+
+    def test_rng_passthrough(self):
+        generator = np.random.default_rng(3)
+        assert rng_from(generator) is generator
+
+
+class TestGeneratedObjects:
+    @pytest.mark.parametrize("dimension", [2, 4, 8])
+    def test_random_state_vector_is_normalised(self, dimension):
+        vector = random_state_vector(dimension, seed=0)
+        assert np.linalg.norm(vector) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("dimension", [2, 4, 8])
+    def test_random_unitary(self, dimension):
+        assert is_unitary(random_unitary(dimension, seed=1))
+
+    @pytest.mark.parametrize("dimension", [2, 4])
+    def test_random_density_operator(self, dimension):
+        rho = random_density_operator(dimension, seed=2)
+        assert is_density_operator(rho)
+
+    def test_random_density_operator_rank(self):
+        rho = random_density_operator(8, rank=1, seed=3)
+        eigenvalues = np.linalg.eigvalsh(rho)
+        assert sum(value > 1e-9 for value in eigenvalues) == 1
+
+    def test_random_partial_density_operator(self):
+        rho = random_partial_density_operator(4, seed=4)
+        assert is_partial_density_operator(rho)
+
+    def test_random_hermitian(self):
+        assert is_hermitian(random_hermitian(6, seed=5))
+
+    @pytest.mark.parametrize("dimension", [2, 4, 8])
+    def test_random_predicate(self, dimension):
+        assert is_predicate_matrix(random_predicate_matrix(dimension, seed=6))
+
+    def test_random_projector(self):
+        projector = random_projector(4, rank=2, seed=7)
+        assert is_projector(projector)
+        assert np.trace(projector).real == pytest.approx(2.0)
+
+    def test_random_kraus_trace_preserving(self):
+        kraus = random_kraus_operators(4, count=3, seed=8)
+        gram = sum(k.conj().T @ k for k in kraus)
+        assert operators_close(gram, np.eye(4))
+
+    def test_random_kraus_trace_nonincreasing(self):
+        kraus = random_kraus_operators(4, count=2, trace_preserving=False, seed=9)
+        gram = sum(k.conj().T @ k for k in kraus)
+        assert loewner_le(gram, np.eye(4))
+        assert not operators_close(gram, np.eye(4))

@@ -1,0 +1,116 @@
+"""Unit tests for tensor utilities: embedding, permutation, partial trace."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionMismatchError, LinalgError
+from repro.linalg.constants import CX, H, I2, P0, P1, X
+from repro.linalg.operators import operators_close
+from repro.linalg.states import bell_state, density, ket, maximally_mixed
+from repro.linalg.tensor import (
+    embed_operator,
+    expand_to_register,
+    kron_all,
+    partial_trace,
+    permute_qubits,
+    reduced_state,
+)
+
+
+class TestKron:
+    def test_kron_all_matches_numpy(self):
+        assert operators_close(kron_all([X, I2]), np.kron(X, I2))
+        assert operators_close(kron_all([X, I2, H]), np.kron(np.kron(X, I2), H))
+
+    def test_kron_all_requires_input(self):
+        with pytest.raises(LinalgError):
+            kron_all([])
+
+
+class TestPermutation:
+    def test_identity_permutation(self):
+        assert operators_close(permute_qubits(CX, [0, 1]), CX)
+
+    def test_swapping_cx_control_and_target(self):
+        swapped = permute_qubits(CX, [1, 0])
+        # The swapped CNOT flips the first qubit conditioned on the second.
+        assert operators_close(swapped @ np.kron(ket("0"), ket("1")).reshape(4, 1), ket("11"))
+        assert operators_close(swapped @ ket("10"), ket("10"))
+
+    def test_permutation_of_tensor_product(self):
+        operator = np.kron(X, P0)
+        permuted = permute_qubits(operator, [1, 0])
+        assert operators_close(permuted, np.kron(P0, X))
+
+    def test_invalid_permutation(self):
+        with pytest.raises(LinalgError):
+            permute_qubits(CX, [0, 0])
+
+
+class TestEmbedding:
+    def test_embed_single_qubit_operator(self):
+        embedded = embed_operator(X, [1], 2)
+        assert operators_close(embedded, np.kron(I2, X))
+        embedded = embed_operator(X, [0], 2)
+        assert operators_close(embedded, np.kron(X, I2))
+
+    def test_embed_two_qubit_gate_in_three_qubits(self):
+        # CX acting on (qubit0 control, qubit2 target) inside a 3-qubit register.
+        embedded = embed_operator(CX, [0, 2], 3)
+        assert operators_close(embedded @ ket("100"), ket("101"))
+        assert operators_close(embedded @ ket("110"), ket("111"))
+        assert operators_close(embedded @ ket("010"), ket("010"))
+
+    def test_embed_reversed_control_target(self):
+        embedded = embed_operator(CX, [2, 0], 3)
+        # Now qubit 2 is the control and qubit 0 the target.
+        assert operators_close(embedded @ ket("001"), ket("101"))
+        assert operators_close(embedded @ ket("100"), ket("100"))
+
+    def test_embed_dimension_checks(self):
+        with pytest.raises(DimensionMismatchError):
+            embed_operator(CX, [0], 2)
+        with pytest.raises(LinalgError):
+            embed_operator(X, [3], 2)
+        with pytest.raises(LinalgError):
+            embed_operator(CX, [0, 0], 2)
+
+    def test_expand_to_register_by_name(self):
+        expanded = expand_to_register(X, ["b"], ["a", "b"])
+        assert operators_close(expanded, np.kron(I2, X))
+        with pytest.raises(LinalgError):
+            expand_to_register(X, ["c"], ["a", "b"])
+
+
+class TestPartialTrace:
+    def test_product_state(self):
+        rho = np.kron(density(ket("0")), density(ket("1")))
+        assert operators_close(partial_trace(rho, [0]), density(ket("0")))
+        assert operators_close(partial_trace(rho, [1]), density(ket("1")))
+
+    def test_bell_state_reduces_to_maximally_mixed(self):
+        rho = density(bell_state(0))
+        assert operators_close(partial_trace(rho, [0]), maximally_mixed(1))
+        assert operators_close(partial_trace(rho, [1]), maximally_mixed(1))
+
+    def test_keep_order_is_respected(self):
+        rho = np.kron(density(ket("0")), density(ket("1")))
+        swapped = partial_trace(np.kron(rho, density(ket("0"))), [1, 0])
+        assert operators_close(swapped, np.kron(density(ket("1")), density(ket("0"))))
+
+    def test_trace_preservation(self):
+        rho = density(bell_state(2))
+        reduced = partial_trace(rho, [0])
+        assert np.trace(reduced) == pytest.approx(1.0)
+
+    def test_invalid_positions(self):
+        rho = maximally_mixed(2)
+        with pytest.raises(LinalgError):
+            partial_trace(rho, [5])
+        with pytest.raises(LinalgError):
+            partial_trace(rho, [0, 0])
+
+    def test_reduced_state_by_name(self):
+        rho = np.kron(density(ket("0")), density(plus := (ket("0") + ket("1")) / np.sqrt(2)))
+        reduced = reduced_state(rho, ["b"], ["a", "b"])
+        assert operators_close(reduced, density(plus))

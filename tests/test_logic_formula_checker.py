@@ -1,0 +1,161 @@
+"""Unit tests for correctness formulas and the proof-rule checker (Fig. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidProofError, VerificationError
+from repro.language.ast import (
+    Abort,
+    If,
+    Init,
+    MEAS_COMPUTATIONAL,
+    NDet,
+    Seq,
+    Skip,
+    Unitary,
+    While,
+)
+from repro.linalg.constants import H, I2, P0, P1, X
+from repro.logic.checker import RULE_NAMES, check_rule
+from repro.logic.formula import CorrectnessFormula, CorrectnessMode
+from repro.predicates.assertion import QuantumAssertion
+from repro.registers import QubitRegister
+
+
+def A(*matrices, name=None):
+    return QuantumAssertion(list(matrices), name=name)
+
+
+@pytest.fixture
+def q_register():
+    return QubitRegister(["q"])
+
+
+class TestCorrectnessFormula:
+    def test_construction_and_register(self, q_register):
+        formula = CorrectnessFormula(A(P0), Skip(), A(P0))
+        assert formula.mode is CorrectnessMode.PARTIAL
+        assert formula.dimension == 2
+        assert formula.register(q_register) == q_register
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(VerificationError):
+            CorrectnessFormula(A(P0), Skip(), A(np.eye(4)))
+
+    def test_register_dimension_check(self):
+        formula = CorrectnessFormula(A(P0), Init(("a", "b")), A(P0))
+        with pytest.raises(VerificationError):
+            formula.register()
+
+    def test_with_mode_and_describe(self):
+        formula = CorrectnessFormula(A(P0, name="pre"), Skip(), A(P0, name="post"))
+        total = formula.with_mode(CorrectnessMode.TOTAL)
+        assert total.mode is CorrectnessMode.TOTAL
+        assert "total" in total.describe()
+
+
+class TestAxiomRules:
+    def test_skip_rule(self, q_register):
+        check_rule("Skip", CorrectnessFormula(A(P0), Skip(), A(P0)), register=q_register)
+        with pytest.raises(InvalidProofError):
+            check_rule("Skip", CorrectnessFormula(A(P0), Skip(), A(P1)), register=q_register)
+        with pytest.raises(InvalidProofError):
+            check_rule("Skip", CorrectnessFormula(A(P0), Abort(), A(P0)), register=q_register)
+
+    def test_abort_rules(self, q_register):
+        check_rule("Abort", CorrectnessFormula(A(I2), Abort(), A(P0)), register=q_register)
+        with pytest.raises(InvalidProofError):
+            check_rule("Abort", CorrectnessFormula(A(P0), Abort(), A(P0)), register=q_register)
+        total = CorrectnessFormula(A(np.zeros((2, 2))), Abort(), A(P0), CorrectnessMode.TOTAL)
+        check_rule("AbortT", total, register=q_register)
+        with pytest.raises(InvalidProofError):
+            check_rule("AbortT", total.with_mode(CorrectnessMode.PARTIAL), register=q_register)
+
+    def test_unit_rule(self, q_register):
+        statement = Unitary(("q",), "X", X)
+        check_rule("Unit", CorrectnessFormula(A(P1), statement, A(P0)), register=q_register)
+        with pytest.raises(InvalidProofError):
+            check_rule("Unit", CorrectnessFormula(A(P0), statement, A(P0)), register=q_register)
+
+    def test_init_rule(self, q_register):
+        statement = Init(("q",))
+        check_rule("Init", CorrectnessFormula(A(I2), statement, A(P0)), register=q_register)
+        check_rule("Init", CorrectnessFormula(A(np.zeros((2, 2))), statement, A(P1)), register=q_register)
+        with pytest.raises(InvalidProofError):
+            check_rule("Init", CorrectnessFormula(A(P0), statement, A(P1)), register=q_register)
+
+
+class TestStructuralRules:
+    def test_seq_rule(self, q_register):
+        first = Unitary(("q",), "H", H)
+        second = Unitary(("q",), "X", X)
+        program = Seq((first, second))
+        middle = A(X.conj().T @ P0 @ X)
+        premises = [
+            CorrectnessFormula(A(H.conj().T @ (X.conj().T @ P0 @ X) @ H), first, middle),
+            CorrectnessFormula(middle, second, A(P0)),
+        ]
+        conclusion = CorrectnessFormula(premises[0].precondition, program, A(P0))
+        check_rule("Seq", conclusion, premises, register=q_register)
+        with pytest.raises(InvalidProofError):
+            check_rule("Seq", conclusion, list(reversed(premises)), register=q_register)
+
+    def test_ndet_rule(self, q_register):
+        program = NDet((Skip(), Unitary(("q",), "X", X)))
+        shared_pre = A(P0, P1)
+        premises = [
+            CorrectnessFormula(shared_pre, Skip(), A(P0)),
+            CorrectnessFormula(shared_pre, Unitary(("q",), "X", X), A(P0)),
+        ]
+        check_rule("NDet", CorrectnessFormula(shared_pre, program, A(P0)), premises, register=q_register)
+        bad_premises = [
+            CorrectnessFormula(A(P0), Skip(), A(P0)),
+            CorrectnessFormula(A(P1), Unitary(("q",), "X", X), A(P0)),
+        ]
+        with pytest.raises(InvalidProofError):
+            check_rule("NDet", CorrectnessFormula(A(P0), program, A(P0)), bad_premises, register=q_register)
+
+    def test_meas_rule(self, q_register):
+        program = If(MEAS_COMPUTATIONAL, ("q",), Unitary(("q",), "X", X), Skip())
+        then_premise = CorrectnessFormula(A(P1), Unitary(("q",), "X", X), A(P0))
+        else_premise = CorrectnessFormula(A(P0), Skip(), A(P0))
+        conclusion = CorrectnessFormula(A(I2), program, A(P0))
+        check_rule("Meas", conclusion, [then_premise, else_premise], register=q_register)
+        with pytest.raises(InvalidProofError):
+            check_rule("Meas", conclusion, [else_premise, then_premise], register=q_register)
+
+    def test_while_rule(self, q_register):
+        loop = While(MEAS_COMPUTATIONAL, ("q",), Unitary(("q",), "H", H))
+        invariant = A(I2)
+        body_post = A(P0 + P1)  # P⁰(P0) + P¹(I) = I
+        body_premise = CorrectnessFormula(invariant, loop.body, body_post)
+        conclusion = CorrectnessFormula(A(I2), loop, A(P0))
+        check_rule("While", conclusion, [body_premise], register=q_register)
+        bad_premise = CorrectnessFormula(A(P0), loop.body, A(P0))
+        with pytest.raises(InvalidProofError):
+            check_rule("While", conclusion, [bad_premise], register=q_register)
+
+    def test_imp_rule(self, q_register):
+        premise = CorrectnessFormula(A(0.8 * I2), Skip(), A(P0, P1))
+        conclusion = CorrectnessFormula(A(0.5 * I2), Skip(), A(0.5 * I2))
+        check_rule("Imp", conclusion, [premise], register=q_register)
+        too_strong = CorrectnessFormula(A(I2), Skip(), A(0.5 * I2))
+        with pytest.raises(InvalidProofError):
+            check_rule("Imp", too_strong, [premise], register=q_register)
+
+    def test_union_rule(self, q_register):
+        premises = [
+            CorrectnessFormula(A(P0), Skip(), A(P0)),
+            CorrectnessFormula(A(P1), Skip(), A(P1)),
+        ]
+        conclusion = CorrectnessFormula(A(P0, P1), Skip(), A(P0, P1))
+        check_rule("Union", conclusion, premises, register=q_register)
+        with pytest.raises(InvalidProofError):
+            check_rule("Union", CorrectnessFormula(A(P0), Skip(), A(P0, P1)), premises, register=q_register)
+
+    def test_unknown_rule(self, q_register):
+        with pytest.raises(InvalidProofError):
+            check_rule("Conjunction", CorrectnessFormula(A(P0), Skip(), A(P0)), register=q_register)
+
+    def test_rule_names_constant(self):
+        assert "While" in RULE_NAMES and "Imp" in RULE_NAMES

@@ -1,0 +1,106 @@
+"""Unit tests for ranking assertions (Def. 4.3) and the semantic model checker."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import RankingError
+from repro.language.ast import MEAS_COMPUTATIONAL, Skip, Unitary, While, ndet, seq
+from repro.linalg.constants import H, I2, P0, P1, X
+from repro.logic.formula import CorrectnessFormula, CorrectnessMode
+from repro.logic.ranking import check_ranking, synthesize_ranking
+from repro.logic.semantic_check import check_formula_semantically
+from repro.logic.semantic_check import test_states as sample_states
+from repro.predicates.assertion import QuantumAssertion
+from repro.registers import QubitRegister
+
+
+def A(*matrices, name=None):
+    return QuantumAssertion(list(matrices), name=name)
+
+
+@pytest.fixture
+def q_register():
+    return QubitRegister(["q"])
+
+
+class TestRankingSynthesis:
+    def test_terminating_loop_has_vanishing_residual(self, q_register):
+        loop = While(MEAS_COMPUTATIONAL, ("q",), Unitary(("q",), "H", H))
+        ranking = synthesize_ranking(loop, q_register, truncation=60)
+        assert ranking.residual < 1e-6
+        sequence = ranking.sequence_for(0)
+        assert len(sequence) == ranking.truncation + 1 or len(sequence) == ranking.truncation
+
+    def test_nonterminating_loop_ranking_reflects_termination_probability(self, q_register):
+        loop = While(MEAS_COMPUTATIONAL, ("q",), Skip())
+        ranking = synthesize_ranking(loop, q_register, truncation=40)
+        # R_0 is the termination-probability observable: only the |0⟩ component exits.
+        assert np.allclose(ranking.sequence_for(0)[0].matrix, P0, atol=1e-9)
+
+    def test_nondeterministic_body_gets_one_sequence_per_scheduler(self, q_register):
+        body = ndet(Unitary(("q",), "H", H), seq(Unitary(("q",), "X", X), Unitary(("q",), "H", H)))
+        loop = While(MEAS_COMPUTATIONAL, ("q",), body)
+        ranking = synthesize_ranking(loop, q_register, truncation=50)
+        assert len(ranking.sequences) == len(ranking.schedulers) >= 2
+        assert ranking.residual < 1e-6
+
+
+class TestRankingChecks:
+    def test_valid_ranking_passes(self, q_register):
+        loop = While(MEAS_COMPUTATIONAL, ("q",), Unitary(("q",), "H", H))
+        ranking = synthesize_ranking(loop, q_register, truncation=60)
+        theta_hat = A(I2)
+        check_ranking(loop, ranking, theta_hat, q_register)
+
+    def test_nonterminating_loop_fails_ranking_check(self, q_register):
+        loop = While(MEAS_COMPUTATIONAL, ("q",), Skip())
+        ranking = synthesize_ranking(loop, q_register, truncation=40)
+        with pytest.raises(RankingError):
+            check_ranking(loop, ranking, A(I2), q_register)
+
+    def test_too_strong_theta_hat_fails_condition_one(self, q_register):
+        loop = While(MEAS_COMPUTATIONAL, ("q",), Unitary(("q",), "H", H))
+        # Truncate aggressively so R_0 is visibly below I, then demand Θ̂ = I... the
+        # canonical R_0 still converges to I here, so instead demand more than I.
+        ranking = synthesize_ranking(loop, q_register, truncation=60)
+        # Use an "invariant" that exceeds what termination can deliver on the 1-branch:
+        # Θ̂ = I is fine, but 'I' scaled beyond R_0 cannot be expressed; instead shrink
+        # the ranking artificially to trigger the failure.
+        ranking.sequences[0] = [seq_pred.scaled(0.4) for seq_pred in ranking.sequences[0]]
+        with pytest.raises(RankingError):
+            check_ranking(loop, ranking, A(I2), q_register)
+
+
+class TestSemanticChecker:
+    def test_state_family_is_reasonable(self, q_register):
+        states = sample_states(q_register, samples=3)
+        assert len(states) >= 2 + 6
+        for rho in states:
+            assert np.trace(rho).real <= 1.0 + 1e-9
+
+    def test_valid_formula_passes(self, q_register):
+        program = seq(Unitary(("q",), "X", X), Unitary(("q",), "X", X))
+        formula = CorrectnessFormula(A(P0), program, A(P0), CorrectnessMode.TOTAL)
+        result = check_formula_semantically(formula, q_register)
+        assert result.holds
+        assert result.margin >= -1e-9
+        assert result.states_checked > 0
+
+    def test_invalid_formula_is_caught(self, q_register):
+        formula = CorrectnessFormula(A(I2), Unitary(("q",), "X", X), A(P0), CorrectnessMode.TOTAL)
+        result = check_formula_semantically(formula, q_register)
+        assert not result.holds
+        assert result.violations
+
+    def test_partial_correctness_forgives_nontermination(self, q_register):
+        loop = While(MEAS_COMPUTATIONAL, ("q",), Skip())
+        partial = CorrectnessFormula(A(I2), loop, A(P0), CorrectnessMode.PARTIAL)
+        assert check_formula_semantically(partial, q_register).holds
+        total = partial.with_mode(CorrectnessMode.TOTAL)
+        assert not check_formula_semantically(total, q_register).holds
+
+    def test_explicit_states_are_used(self, q_register):
+        formula = CorrectnessFormula(A(P0), Skip(), A(P0), CorrectnessMode.TOTAL)
+        result = check_formula_semantically(formula, q_register, states=[np.diag([1.0, 0.0])])
+        assert result.states_checked == 1
+        assert result.holds

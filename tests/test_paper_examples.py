@@ -1,0 +1,225 @@
+"""Integration tests reproducing the worked examples and lemmas of the paper.
+
+These tests are the executable counterpart of the paper's in-text arguments:
+Lemma 3.1 and 3.2, Example 3.3 (pure vs mixed state semantics), Example 3.4
+(relational vs lifted model), Lemma 4.1, the counterexample after Example 4.1,
+and Lemma 6.1/A.1 dualities.
+"""
+
+import numpy as np
+import pytest
+
+from repro.language.ast import MEAS_COMPUTATIONAL, MEAS_PLUS_MINUS, Skip, Unitary, While, measure, ndet, seq
+from repro.linalg.constants import H, I2, P0, P1, X
+from repro.linalg.operators import loewner_le, operators_close
+from repro.linalg.random import random_density_operator, random_partial_density_operator
+from repro.linalg.states import density, ket, maximally_mixed, minus_state, plus_state
+from repro.logic.formula import CorrectnessFormula, CorrectnessMode
+from repro.logic.semantic_check import check_formula_semantically
+from repro.predicates.assertion import QuantumAssertion
+from repro.predicates.order import leq_inf
+from repro.registers import QubitRegister
+from repro.semantics.denotational import DenotationOptions, apply_denotation, denotation, loop_iterates
+from repro.semantics.schedulers import ConstantScheduler, CyclicScheduler
+from repro.semantics.wp import weakest_liberal_precondition, weakest_precondition
+from repro.superop.compare import set_equal
+from repro.superop.kraus import SuperOperator
+
+
+@pytest.fixture
+def q_register():
+    return QubitRegister(["q"])
+
+
+class TestLemma31:
+    """E ⪯ F iff F − E is completely positive iff outputs are Löwner ordered."""
+
+    def test_order_equivalence_on_examples(self):
+        smaller = SuperOperator([P0]) * 0.5
+        larger = SuperOperator([P0])
+        assert smaller.precedes(larger)
+        for seed in range(5):
+            rho = random_partial_density_operator(2, seed=seed)
+            assert loewner_le(smaller.apply(rho), larger.apply(rho))
+
+    def test_failure_direction(self):
+        a = SuperOperator.from_unitary(X)
+        b = SuperOperator.from_unitary(H)
+        assert not a.precedes(b)
+        # And indeed some state witnesses the failure of the Löwner comparison.
+        witnesses = [
+            rho
+            for rho in (density(ket("0")), density(ket("1")), density(plus_state()))
+            if not loewner_le(a.apply(rho), b.apply(rho))
+        ]
+        assert witnesses
+
+
+class TestLemma32:
+    """[[while]] = P⁰ + [[while]] ∘ [[S]] ∘ P¹ (the unrolling equation)."""
+
+    def test_unrolling_for_deterministic_body(self, q_register):
+        loop = While(MEAS_COMPUTATIONAL, ("q",), Unitary(("q",), "H", H))
+        options = DenotationOptions(max_iterations=80)
+        loop_maps = denotation(loop, q_register, options)
+        body_maps = denotation(loop.body, q_register, options)
+        p0 = SuperOperator([P0])
+        p1 = SuperOperator([P1])
+        unrolled = [p0 + w.compose(s).compose(p1) for w in loop_maps for s in body_maps]
+        assert set_equal(loop_maps, unrolled, atol=1e-5)
+
+    def test_chain_recursion_equation(self, q_register):
+        """Eq. (2): F^η_{n+1} = P⁰ + F^{η→}_n ∘ η₁ ∘ P¹ for constant schedulers."""
+        loop = While(MEAS_COMPUTATIONAL, ("q",), Unitary(("q",), "H", H))
+        body_maps = denotation(loop.body, q_register)
+        chain = loop_iterates(loop, q_register, body_maps, ConstantScheduler(0),
+                              DenotationOptions(max_iterations=20, convergence_tolerance=0.0))
+        p0 = SuperOperator([P0])
+        p1 = SuperOperator([P1])
+        for n in range(len(chain) - 1):
+            rhs = p0 + chain[n].compose(body_maps[0]).compose(p1)
+            assert chain[n + 1].equals(rhs, atol=1e-9)
+
+
+class TestExample33:
+    """Pure-state semantics cannot be lifted consistently to mixed states."""
+
+    def test_two_decompositions_give_different_pure_state_semantics(self, q_register):
+        program = ndet(Skip(), Unitary(("q",), "X", X))
+        # Lift the pure-state semantics over the computational-basis decomposition:
+        outputs_computational = set()
+        for branch_for_zero in apply_denotation(program, density(ket("0")), q_register):
+            for branch_for_one in apply_denotation(program, density(ket("1")), q_register):
+                mixed = 0.5 * branch_for_zero + 0.5 * branch_for_one
+                outputs_computational.add(tuple(np.round(mixed.flatten(), 6)))
+        # ... and over the Hadamard-basis decomposition:
+        outputs_hadamard = set()
+        for branch_plus in apply_denotation(program, density(plus_state()), q_register):
+            for branch_minus in apply_denotation(program, density(minus_state()), q_register):
+                mixed = 0.5 * branch_plus + 0.5 * branch_minus
+                outputs_hadamard.add(tuple(np.round(mixed.flatten(), 6)))
+        # The two liftings disagree (the computational decomposition can produce pure
+        # outputs |0⟩ and |1⟩, the Hadamard one only I/2) — hence pure-state semantics
+        # is not well defined for nondeterministic programs.
+        assert outputs_computational != outputs_hadamard
+        assert len(outputs_hadamard) == 1
+
+    def test_mixed_state_semantics_is_well_defined(self, q_register):
+        program = ndet(Skip(), Unitary(("q",), "X", X))
+        outputs = apply_denotation(program, maximally_mixed(1), q_register)
+        assert all(operators_close(output, maximally_mixed(1)) for output in outputs)
+
+
+class TestExample34:
+    """The relational model is not compositional in the quantum setting."""
+
+    def _t_program(self):
+        return seq(Unitary(("q",), "H", H), measure(("q",)))
+
+    def _t_pm_program(self):
+        return measure(("q",), MEAS_PLUS_MINUS)
+
+    def test_t_and_t_pm_have_equal_denotations_from_fixed_input(self, q_register):
+        """Both preparations yield physically indistinguishable mixtures from |0⟩:
+        T produces the ensemble (|0⟩:½, |1⟩:½) and T± the ensemble (|+⟩:½, |−⟩:½),
+        and both equal I/2 as density operators (Eq. (5))."""
+        prepared = denotation(self._t_program(), q_register)[0].apply(density(ket("0")))
+        prepared_pm = denotation(self._t_pm_program(), q_register)[0].apply(density(ket("0")))
+        assert operators_close(prepared, maximally_mixed(1))
+        assert operators_close(prepared_pm, maximally_mixed(1))
+        assert operators_close(prepared, prepared_pm)
+
+    def test_lifted_composition_is_well_defined(self, q_register):
+        """In the lifted model, composing with S keeps equal programs equal."""
+        s_program = ndet(Skip(), Unitary(("q",), "X", X))
+        # T prepares the uniform classical mixture; T± prepares an equal mixture in
+        # the ± basis.  As channels from the *fixed* input they produce the states
+        # I/2; composing with S in the lifted model acts on that density operator
+        # only, so the two compositions agree wherever the originals agree.
+        t_then_s = seq(Unitary(("q",), "H", H), measure(("q",)), s_program)
+        outputs = apply_denotation(t_then_s, density(ket("0")), q_register)
+        # Every resolution leaves the maximally mixed state untouched (Example 3.3).
+        assert all(operators_close(output, maximally_mixed(1)) for output in outputs)
+
+    def test_relational_style_composition_would_distinguish_them(self, q_register):
+        """Resolving the choice per basis vector (the relational reading) distinguishes
+        the computational-basis mixture from the ±-basis mixture, as in Example 3.4."""
+        s_program = ndet(Skip(), Unitary(("q",), "X", X))
+        computational_outputs = set()
+        for branch_zero in apply_denotation(s_program, 0.5 * density(ket("0")), q_register):
+            for branch_one in apply_denotation(s_program, 0.5 * density(ket("1")), q_register):
+                computational_outputs.add(tuple(np.round((branch_zero + branch_one).flatten(), 6)))
+        pm_outputs = set()
+        for branch_plus in apply_denotation(s_program, 0.5 * density(plus_state()), q_register):
+            for branch_minus in apply_denotation(s_program, 0.5 * density(minus_state()), q_register):
+                pm_outputs.add(tuple(np.round((branch_plus + branch_minus).flatten(), 6)))
+        assert computational_outputs != pm_outputs
+
+
+class TestLemma41AndCounterexample:
+    def test_total_implies_partial(self, q_register):
+        program = ndet(Skip(), Unitary(("q",), "H", H))
+        formula = CorrectnessFormula(
+            QuantumAssertion([0.4 * I2]), program, QuantumAssertion([P0]), CorrectnessMode.TOTAL
+        )
+        if check_formula_semantically(formula, q_register).holds:
+            partial = formula.with_mode(CorrectnessMode.PARTIAL)
+            assert check_formula_semantically(partial, q_register).holds
+
+    def test_trivial_formulas_of_lemma_41(self, q_register):
+        program = ndet(Skip(), Unitary(("q",), "X", X))
+        zero_pre = CorrectnessFormula(
+            QuantumAssertion.zero(1), program, QuantumAssertion([P0]), CorrectnessMode.TOTAL
+        )
+        identity_post = CorrectnessFormula(
+            QuantumAssertion([P0]), program, QuantumAssertion.identity(1), CorrectnessMode.PARTIAL
+        )
+        assert check_formula_semantically(zero_pre, q_register).holds
+        assert check_formula_semantically(identity_post, q_register).holds
+
+    def test_counterexample_below_example_41(self, q_register):
+        """{Θ} skip {Ψ} holds for Θ = {P0, P1}, Ψ = {I/2}, but not predicate-wise."""
+        theta = QuantumAssertion([P0, P1])
+        psi = QuantumAssertion([0.5 * I2])
+        formula = CorrectnessFormula(theta, Skip(), psi, CorrectnessMode.TOTAL)
+        assert check_formula_semantically(formula, q_register).holds
+        assert leq_inf(theta, psi).holds
+        for predicate in (P0, P1):
+            single = CorrectnessFormula(
+                QuantumAssertion([predicate]), Skip(), psi, CorrectnessMode.TOTAL
+            )
+            assert not check_formula_semantically(single, q_register).holds
+
+
+class TestLemmaA1Duality:
+    """Exp(ρ ⊨ wp.S.Θ) = inf {Exp(σ ⊨ Θ) : σ ∈ [[S]](ρ)} (and the wlp analogue)."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_wp_duality_on_random_states(self, seed, q_register):
+        program = seq(
+            ndet(Unitary(("q",), "H", H), Skip()),
+            measure(("q",)),
+            ndet(Skip(), Unitary(("q",), "X", X)),
+        )
+        post = QuantumAssertion([P0, 0.7 * I2])
+        rho = random_density_operator(2, seed=seed)
+        wp = weakest_precondition(program, post, q_register)
+        direct = min(
+            post.expectation(channel.apply(rho)) for channel in denotation(program, q_register)
+        )
+        assert wp.expectation(rho) == pytest.approx(direct, abs=1e-9)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_wlp_duality_on_random_states(self, seed, q_register):
+        from repro.language.ast import Abort
+
+        program = ndet(Abort(), Unitary(("q",), "H", H))
+        post = QuantumAssertion([P0])
+        rho = random_partial_density_operator(2, seed=seed)
+        wlp = weakest_liberal_precondition(program, post, q_register)
+        trace_rho = float(np.real(np.trace(rho)))
+        direct = min(
+            post.expectation(channel.apply(rho)) + trace_rho - float(np.real(np.trace(channel.apply(rho))))
+            for channel in denotation(program, q_register)
+        )
+        assert wlp.expectation(rho) == pytest.approx(direct, abs=1e-9)

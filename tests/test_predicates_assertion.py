@@ -1,0 +1,119 @@
+"""Unit tests for :class:`repro.predicates.assertion.QuantumAssertion`."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AssertionFormatError, DimensionMismatchError
+from repro.linalg.constants import H, I2, P0, P1, X
+from repro.linalg.operators import operators_close
+from repro.linalg.states import density, ket, maximally_mixed, plus_state
+from repro.predicates.assertion import QuantumAssertion
+from repro.predicates.predicate import QuantumPredicate
+from repro.registers import QubitRegister
+from repro.superop.kraus import SuperOperator
+
+
+class TestConstruction:
+    def test_from_matrices(self):
+        assertion = QuantumAssertion([P0, P1])
+        assert len(assertion) == 2
+        assert assertion.dimension == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(AssertionFormatError):
+            QuantumAssertion([])
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            QuantumAssertion([P0, np.eye(4)])
+
+    def test_deduplication(self):
+        assertion = QuantumAssertion([P0, P0.copy(), P1])
+        assert len(assertion) == 2
+
+    def test_singleton_and_factories(self):
+        assert QuantumAssertion.singleton(P0).is_singleton()
+        assert operators_close(QuantumAssertion.identity(1).predicates[0].matrix, I2)
+        assert operators_close(QuantumAssertion.zero(2).predicates[0].matrix, np.zeros((4, 4)))
+
+    def test_iteration_and_indexing(self):
+        assertion = QuantumAssertion([P0, P1])
+        assert [p.matrix[0, 0] for p in assertion] == [1.0, 0.0]
+        assert operators_close(assertion[1].matrix, P1)
+
+
+class TestExpectation:
+    def test_expectation_takes_the_minimum(self):
+        """Definition 4.1: Exp(ρ ⊨ Θ) = min over the predicates."""
+        assertion = QuantumAssertion([P0, P1])
+        rho = np.diag([0.7, 0.3]).astype(complex)
+        assert assertion.expectation(rho) == pytest.approx(0.3)
+
+    def test_paper_counterexample_after_example_4_1(self):
+        """Θ = {|0⟩⟨0|, |1⟩⟨1|} and Ψ = {I/2} satisfy Exp(ρ ⊨ Θ) ≤ Exp(ρ ⊨ Ψ)."""
+        theta = QuantumAssertion([P0, P1])
+        psi = QuantumAssertion([0.5 * I2])
+        for rho in (density(ket("0")), density(ket("1")), density(plus_state()), maximally_mixed(1)):
+            assert theta.expectation(rho) <= psi.expectation(rho) + 1e-12
+
+    def test_singleton_expectation(self):
+        assertion = QuantumAssertion.singleton(0.5 * I2)
+        assert assertion.expectation(density(ket("0"))) == pytest.approx(0.5)
+
+
+class TestAlgebra:
+    def test_union(self):
+        union = QuantumAssertion([P0]).union(QuantumAssertion([P1]))
+        assert len(union) == 2
+        both = QuantumAssertion([P0]) | QuantumAssertion([P0])
+        assert len(both) == 1
+
+    def test_union_dimension_check(self):
+        with pytest.raises(DimensionMismatchError):
+            QuantumAssertion([P0]).union(QuantumAssertion([np.eye(4)]))
+
+    def test_apply_superoperator_adjoint_elementwise(self):
+        channel = SuperOperator.from_unitary(X)
+        image = QuantumAssertion([P0, P1]).apply_superoperator_adjoint(channel)
+        assert image.set_equal(QuantumAssertion([P1, P0]))
+
+    def test_conjugate_by(self):
+        image = QuantumAssertion([P0]).conjugate_by(X)
+        assert image.set_equal(QuantumAssertion([P1]))
+
+    def test_elementwise_sum(self):
+        left = QuantumAssertion([0.5 * P0, P0])
+        right = QuantumAssertion([0.5 * P1])
+        total = left.elementwise_sum(right)
+        assert len(total) == 2
+        expected = QuantumAssertion([0.5 * P0 + 0.5 * P1, P0 + 0.5 * P1])
+        assert total.set_equal(expected)
+
+    def test_embed(self):
+        register = QubitRegister(["a", "b"])
+        embedded = QuantumAssertion([P0, P1]).embed(["a"], register)
+        assert embedded.dimension == 4
+        assert embedded.set_equal(
+            QuantumAssertion([np.kron(P0, I2), np.kron(P1, I2)])
+        )
+
+    def test_scaled(self):
+        scaled = QuantumAssertion([P0, I2]).scaled(0.5)
+        assert scaled.set_equal(QuantumAssertion([0.5 * P0, 0.5 * I2]))
+
+    def test_map(self):
+        mapped = QuantumAssertion([P0]).map(lambda predicate: predicate.complement())
+        assert mapped.set_equal(QuantumAssertion([P1]))
+
+
+class TestEquality:
+    def test_set_equal_ignores_order(self):
+        assert QuantumAssertion([P0, P1]).set_equal(QuantumAssertion([P1, P0]))
+        assert QuantumAssertion([P0, P1]) == QuantumAssertion([P1, P0])
+
+    def test_set_equal_detects_difference(self):
+        assert not QuantumAssertion([P0]).set_equal(QuantumAssertion([P0, P1]))
+        assert not QuantumAssertion([P0]).set_equal(QuantumAssertion([np.eye(4)]))
+
+    def test_hash_consistency(self):
+        assert hash(QuantumAssertion([P0, P1])) == hash(QuantumAssertion([P1, P0]))

@@ -1,0 +1,164 @@
+"""Unit tests for schedulers, the classical substrate and program equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SchedulerError
+from repro.language.ast import Skip, Unitary, ndet, seq
+from repro.linalg.constants import H, X, Z
+from repro.semantics.classical import (
+    Distribution,
+    LiftedProgram,
+    RelationalProgram,
+    distribution_sets_equal,
+    distributions_equal,
+    lifted_compose,
+    relational_compose,
+)
+from repro.semantics.equivalence import common_register, program_refines, programs_equivalent
+from repro.semantics.schedulers import (
+    ConstantScheduler,
+    CyclicScheduler,
+    FunctionScheduler,
+    RandomScheduler,
+    constant_schedulers,
+    sample_schedulers,
+)
+
+
+class TestSchedulers:
+    def test_constant(self):
+        scheduler = ConstantScheduler(1)
+        assert scheduler.select(1, 3) == 1
+        assert scheduler.select(100, 3) == 1
+        with pytest.raises(SchedulerError):
+            scheduler.select(1, 1)
+        with pytest.raises(SchedulerError):
+            ConstantScheduler(-1)
+
+    def test_cyclic(self):
+        scheduler = CyclicScheduler([0, 1, 1])
+        assert [scheduler.select(i, 2) for i in range(1, 7)] == [0, 1, 1, 0, 1, 1]
+        with pytest.raises(SchedulerError):
+            CyclicScheduler([])
+
+    def test_function(self):
+        scheduler = FunctionScheduler(lambda iteration, n: iteration % n, "mod")
+        assert scheduler.select(3, 2) == 1
+        assert scheduler.describe() == "mod"
+        bad = FunctionScheduler(lambda iteration, n: n + 1)
+        with pytest.raises(SchedulerError):
+            bad.select(1, 2)
+
+    def test_random_is_memoised_and_reproducible(self):
+        scheduler = RandomScheduler(seed=3)
+        first = [scheduler.select(i, 4) for i in range(1, 10)]
+        second = [scheduler.select(i, 4) for i in range(1, 10)]
+        assert first == second
+        again = RandomScheduler(seed=3)
+        assert [again.select(i, 4) for i in range(1, 10)] == first
+
+    def test_factories(self):
+        assert len(constant_schedulers(3)) == 3
+        assert len(sample_schedulers(4)) == 4
+
+
+class TestClassicalDistributions:
+    def test_point_and_total(self):
+        point = Distribution.point("s")
+        assert point.probability("s") == 1.0
+        assert point.total() == pytest.approx(1.0)
+
+    def test_from_dict_validates(self):
+        with pytest.raises(ValueError):
+            Distribution.from_dict({"a": 0.7, "b": 0.7})
+
+    def test_add_and_scale(self):
+        d = Distribution.from_dict({"a": 0.5}).add(Distribution.from_dict({"b": 0.25}))
+        assert d.probability("a") == pytest.approx(0.5)
+        assert d.scale(0.5).total() == pytest.approx(0.375)
+
+    def test_equality_helpers(self):
+        a = Distribution.from_dict({"x": 0.5, "y": 0.5})
+        b = Distribution.from_dict({"y": 0.5, "x": 0.5})
+        assert distributions_equal(a, b)
+        assert distribution_sets_equal([a], [b])
+        assert not distribution_sets_equal([a], [Distribution.point("x")])
+
+
+class TestClassicalModels:
+    """The classical analogue of Sec. 3.3.2: relational vs lifted composition."""
+
+    @staticmethod
+    def _coin() -> RelationalProgram:
+        half = Distribution.from_dict({0: 0.5, 1: 0.5})
+        return RelationalProgram("coin", lambda state: [half])
+
+    @staticmethod
+    def _ndet_id_or_flip_relational() -> RelationalProgram:
+        return RelationalProgram(
+            "id_or_flip",
+            lambda state: [Distribution.point(state), Distribution.point(1 - state)],
+        )
+
+    def test_relational_composition_allows_state_dependent_choices(self):
+        """After a fair coin, the runtime adversary can force a deterministic output."""
+        composed = relational_compose(self._coin(), self._ndet_id_or_flip_relational())
+        outputs = composed.outputs(0)
+        # The adversary can map both intermediate states to 0 (or both to 1).
+        assert any(distributions_equal(d, Distribution.point(0)) for d in outputs)
+        assert any(distributions_equal(d, Distribution.point(1)) for d in outputs)
+        # It can also keep the uniform distribution.
+        uniform = Distribution.from_dict({0: 0.5, 1: 0.5})
+        assert any(distributions_equal(d, uniform) for d in outputs)
+
+    def test_lifted_composition_fixes_choices_up_front(self):
+        coin = LiftedProgram("coin", (lambda s: Distribution.from_dict({0: 0.5, 1: 0.5}),))
+        id_or_flip = LiftedProgram(
+            "id_or_flip",
+            (lambda s: Distribution.point(s), lambda s: Distribution.point(1 - s)),
+        )
+        composed = lifted_compose(coin, id_or_flip)
+        outputs = composed.outputs(0)
+        uniform = Distribution.from_dict({0: 0.5, 1: 0.5})
+        # Both strategies yield the uniform distribution: the compile-time adversary
+        # cannot correlate its choice with the coin's outcome.
+        assert all(distributions_equal(d, uniform) for d in outputs)
+        assert len(composed.transformers) == 2
+
+    def test_lifted_outputs_from_distribution(self):
+        flip = LiftedProgram("flip", (lambda s: Distribution.point(1 - s),))
+        result = flip.outputs_from_distribution(Distribution.from_dict({0: 0.25, 1: 0.75}))
+        assert distributions_equal(result[0], Distribution.from_dict({1: 0.25, 0: 0.75}))
+
+
+class TestProgramEquivalence:
+    def test_equivalent_programs(self):
+        first = seq(Unitary(("q",), "X", X), Unitary(("q",), "X", X))
+        second = Skip()
+        assert programs_equivalent(first, second)
+
+    def test_global_phase_is_ignored(self):
+        # ZXZX = -I as a matrix, but the channel equals the identity channel.
+        program = seq(
+            Unitary(("q",), "Z", Z),
+            Unitary(("q",), "X", X),
+            Unitary(("q",), "Z", Z),
+            Unitary(("q",), "X", X),
+        )
+        assert programs_equivalent(program, Skip())
+
+    def test_non_equivalent_programs(self):
+        assert not programs_equivalent(Unitary(("q",), "H", H), Skip())
+
+    def test_refinement_of_nondeterministic_specification(self):
+        specification = ndet(Skip(), Unitary(("q",), "X", X))
+        implementation = Unitary(("q",), "X", X)
+        assert program_refines(implementation, specification)
+        assert not program_refines(Unitary(("q",), "H", H), specification)
+        # The specification does not refine the implementation (it has more behaviours).
+        assert not program_refines(specification, implementation)
+
+    def test_common_register(self):
+        register = common_register(Unitary(("b",), "X", X), Unitary(("a",), "X", X))
+        assert register.names == ("a", "b")

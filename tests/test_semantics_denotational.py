@@ -1,0 +1,178 @@
+"""Unit tests for the lifted denotational semantics (Fig. 2, Lemmas 3.1–3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SemanticsError
+from repro.language.ast import (
+    Abort,
+    If,
+    Init,
+    MEAS_COMPUTATIONAL,
+    Skip,
+    Unitary,
+    While,
+    measure,
+    ndet,
+    seq,
+)
+from repro.linalg.constants import H, P0, P1, X
+from repro.linalg.operators import operators_close
+from repro.linalg.states import density, ket, maximally_mixed, minus_state, plus_state
+from repro.registers import QubitRegister
+from repro.semantics.denotational import (
+    DenotationOptions,
+    apply_denotation,
+    denotation,
+    loop_iterates,
+    measurement_superoperators,
+)
+from repro.semantics.schedulers import ConstantScheduler
+from repro.superop.compare import set_equal
+from repro.superop.kraus import SuperOperator
+
+
+@pytest.fixture
+def q_register():
+    return QubitRegister(["q"])
+
+
+class TestBasicStatements:
+    def test_skip_is_identity(self, q_register):
+        maps = denotation(Skip(), q_register)
+        assert len(maps) == 1
+        assert maps[0].equals(SuperOperator.identity(2))
+
+    def test_abort_is_zero(self, q_register):
+        maps = denotation(Abort(), q_register)
+        assert maps[0].equals(SuperOperator.zero(2))
+
+    def test_init_resets(self, q_register):
+        maps = denotation(Init(("q",)), q_register)
+        assert operators_close(maps[0].apply(density(ket("1"))), density(ket("0")))
+
+    def test_unitary(self, q_register):
+        maps = denotation(Unitary(("q",), "X", X), q_register)
+        assert operators_close(maps[0].apply(density(ket("0"))), density(ket("1")))
+
+    def test_register_must_cover_variables(self, q_register):
+        with pytest.raises(SemanticsError):
+            denotation(Init(("other",)), q_register)
+
+
+class TestComposite:
+    def test_sequence_composes_in_order(self, q_register):
+        program = seq(Init(("q",)), Unitary(("q",), "X", X))
+        maps = denotation(program, q_register)
+        assert len(maps) == 1
+        assert operators_close(maps[0].apply(maximally_mixed(1)), density(ket("1")))
+
+    def test_ndet_is_union(self, q_register):
+        program = ndet(Skip(), Unitary(("q",), "X", X))
+        maps = denotation(program, q_register)
+        assert len(maps) == 2
+
+    def test_lifted_sequencing_multiplies_choices(self, q_register):
+        program = seq(
+            ndet(Skip(), Unitary(("q",), "X", X)),
+            ndet(Skip(), Unitary(("q",), "H", H)),
+        )
+        maps = denotation(program, q_register)
+        assert len(maps) == 4
+
+    def test_if_sums_measurement_branches(self, q_register):
+        program = If(MEAS_COMPUTATIONAL, ("q",), Unitary(("q",), "X", X), Skip())
+        maps = denotation(program, q_register)
+        assert len(maps) == 1
+        # |+⟩ collapses to an even mixture; the 1-branch is flipped to |0⟩.
+        output = maps[0].apply(density(plus_state()))
+        assert operators_close(output, density(ket("0")))
+
+    def test_measure_sugar_is_trace_preserving(self, q_register):
+        maps = denotation(measure(("q",)), q_register)
+        assert maps[0].is_trace_preserving()
+
+    def test_denotation_is_trace_nonincreasing(self, q_register):
+        program = seq(measure(("q",)), ndet(Skip(), Abort()))
+        for channel in denotation(program, q_register):
+            assert channel.is_trace_nonincreasing()
+
+
+class TestExample33:
+    """Example 3.3: [[skip □ q *= X]] applied to the four relevant states."""
+
+    @pytest.fixture
+    def program(self):
+        return ndet(Skip(), Unitary(("q",), "X", X))
+
+    def test_computational_basis_states(self, program, q_register):
+        outputs0 = apply_denotation(program, density(ket("0")), q_register)
+        outputs1 = apply_denotation(program, density(ket("1")), q_register)
+        expected = [density(ket("0")), density(ket("1"))]
+        assert any(operators_close(out, expected[0]) for out in outputs0)
+        assert any(operators_close(out, expected[1]) for out in outputs0)
+        assert any(operators_close(out, expected[0]) for out in outputs1)
+        assert any(operators_close(out, expected[1]) for out in outputs1)
+
+    def test_plus_minus_states_are_fixed(self, program, q_register):
+        for state in (plus_state(), minus_state()):
+            outputs = apply_denotation(program, density(state), q_register)
+            assert all(operators_close(out, density(state)) for out in outputs)
+
+    def test_maximally_mixed_is_fixed_in_mixed_state_semantics(self, program, q_register):
+        outputs = apply_denotation(program, maximally_mixed(1), q_register)
+        assert all(operators_close(out, maximally_mixed(1)) for out in outputs)
+
+
+class TestWhileLoops:
+    def test_terminating_loop_converges(self, q_register):
+        loop = While(MEAS_COMPUTATIONAL, ("q",), Unitary(("q",), "H", H))
+        maps = denotation(loop, q_register)
+        assert len(maps) == 1
+        # Starting from |+⟩ the loop terminates almost surely in |0⟩.
+        output = maps[0].apply(density(plus_state()))
+        assert np.trace(output).real == pytest.approx(1.0, abs=1e-6)
+        assert operators_close(output, density(ket("0")), atol=1e-6)
+
+    def test_nonterminating_loop_gives_zero(self, q_register):
+        # while M[q] do q *= X: from |1⟩ the body flips to |0⟩... measurement of |0⟩
+        # exits, so this one terminates; use X on outcome-1 state |1⟩ → stays in the
+        # loop forever when the body is skip.
+        loop = While(MEAS_COMPUTATIONAL, ("q",), Skip())
+        maps = denotation(loop, q_register, DenotationOptions(max_iterations=30))
+        output = maps[0].apply(density(ket("1")))
+        assert np.trace(output).real == pytest.approx(0.0, abs=1e-9)
+        # From |0⟩ it exits immediately.
+        output0 = maps[0].apply(density(ket("0")))
+        assert operators_close(output0, density(ket("0")))
+
+    def test_loop_iterates_are_a_nondecreasing_chain(self, q_register):
+        loop = While(MEAS_COMPUTATIONAL, ("q",), Unitary(("q",), "H", H))
+        body = denotation(loop.body, q_register)
+        chain = loop_iterates(loop, q_register, body, ConstantScheduler(0))
+        for earlier, later in zip(chain, chain[1:]):
+            assert earlier.precedes(later, atol=1e-7)
+
+    def test_nondeterministic_loop_explores_schedulers(self):
+        register = QubitRegister(["q"])
+        body = ndet(Unitary(("q",), "H", H), Unitary(("q",), "X", X))
+        loop = While(MEAS_COMPUTATIONAL, ("q",), body)
+        # Without deduplication one channel per explored scheduler is produced
+        # (two constant schedulers plus two sampled ones).
+        options = DenotationOptions(sampled_schedulers=2, dedup=False)
+        maps = denotation(loop, register, options)
+        assert len(maps) == 4
+        for channel in maps:
+            assert channel.is_trace_nonincreasing()
+        # Both constant schedulers drain all probability mass out of the loop.
+        for channel in maps[:2]:
+            output = channel.apply(density(ket("1")))
+            assert np.trace(output).real == pytest.approx(1.0, abs=1e-6)
+
+
+class TestMeasurementSuperoperators:
+    def test_projection_pair(self, q_register):
+        statement = measure(("q",))
+        p0, p1 = measurement_superoperators(statement, q_register)
+        assert operators_close(p0.apply(density(plus_state())), 0.5 * density(ket("0")))
+        assert operators_close(p1.apply(density(plus_state())), 0.5 * density(ket("1")))

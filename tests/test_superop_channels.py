@@ -1,0 +1,114 @@
+"""Unit tests for the standard channel zoo."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SuperOperatorError
+from repro.linalg.constants import H, P0, P1, X
+from repro.linalg.operators import operators_close
+from repro.linalg.states import density, ket, maximally_mixed, plus_state
+from repro.superop.channels import (
+    amplitude_damping_channel,
+    bit_flip_channel,
+    bit_phase_flip_channel,
+    depolarizing_channel,
+    initialization_channel,
+    measurement_channel,
+    phase_damping_channel,
+    phase_flip_channel,
+    probabilistic_mixture,
+    projection_channel,
+    reset_channel,
+    unitary_channel,
+)
+from repro.superop.kraus import SuperOperator
+
+
+class TestElementaryChannels:
+    def test_unitary_channel(self):
+        channel = unitary_channel(H)
+        assert operators_close(channel.apply(density(ket("0"))), density(plus_state()))
+
+    def test_projection_channel_requires_projector(self):
+        with pytest.raises(SuperOperatorError):
+            projection_channel(H)
+        channel = projection_channel(P0)
+        assert np.trace(channel.apply(density(plus_state()))).real == pytest.approx(0.5)
+
+    def test_measurement_channel_completeness(self):
+        channel = measurement_channel([P0, P1])
+        assert channel.is_trace_preserving()
+        with pytest.raises(SuperOperatorError):
+            measurement_channel([H, P1])
+
+    def test_initialization_and_reset(self):
+        assert operators_close(
+            initialization_channel(1).apply(density(ket("1"))), density(ket("0"))
+        )
+        assert operators_close(reset_channel().apply(maximally_mixed(1)), density(ket("0")))
+
+    def test_two_qubit_initialization(self):
+        channel = initialization_channel(2)
+        assert channel.is_trace_preserving()
+        assert operators_close(channel.apply(density(ket("11"))), density(ket("00")))
+
+
+class TestNoiseChannels:
+    def test_bit_flip_extremes(self):
+        assert operators_close(
+            bit_flip_channel(1.0).apply(density(ket("0"))), density(ket("1"))
+        )
+        assert operators_close(
+            bit_flip_channel(0.0).apply(density(ket("0"))), density(ket("0"))
+        )
+
+    def test_bit_flip_partial(self):
+        output = bit_flip_channel(0.25).apply(density(ket("0")))
+        assert output[0, 0].real == pytest.approx(0.75)
+        assert output[1, 1].real == pytest.approx(0.25)
+
+    def test_phase_flip_preserves_populations(self):
+        output = phase_flip_channel(0.3).apply(density(plus_state()))
+        assert output[0, 0].real == pytest.approx(0.5)
+        assert output[0, 1].real == pytest.approx(0.2)  # coherence shrinks by 1 − 2p
+
+    def test_bit_phase_flip_is_trace_preserving(self):
+        assert bit_phase_flip_channel(0.4).is_trace_preserving()
+
+    def test_depolarizing_limit(self):
+        # Full depolarisation (p = 3/4 in this parameterisation) gives I/2 from any input.
+        output = depolarizing_channel(0.75).apply(density(ket("0")))
+        assert operators_close(output, maximally_mixed(1))
+
+    def test_amplitude_damping(self):
+        channel = amplitude_damping_channel(1.0)
+        assert operators_close(channel.apply(density(ket("1"))), density(ket("0")))
+        assert channel.is_trace_preserving()
+
+    def test_phase_damping_kills_coherence(self):
+        output = phase_damping_channel(1.0).apply(density(plus_state()))
+        assert abs(output[0, 1]) == pytest.approx(0.0, abs=1e-12)
+
+    def test_invalid_probability(self):
+        with pytest.raises(SuperOperatorError):
+            bit_flip_channel(1.5)
+        with pytest.raises(SuperOperatorError):
+            depolarizing_channel(-0.1)
+
+
+class TestMixtures:
+    def test_probabilistic_mixture(self):
+        mixture = probabilistic_mixture(
+            [unitary_channel(X), SuperOperator.identity(2)], [0.25, 0.75]
+        )
+        output = mixture.apply(density(ket("0")))
+        assert output[1, 1].real == pytest.approx(0.25)
+        assert mixture.is_trace_preserving()
+
+    def test_mixture_validation(self):
+        with pytest.raises(SuperOperatorError):
+            probabilistic_mixture([SuperOperator.identity(2)], [0.5, 0.5])
+        with pytest.raises(SuperOperatorError):
+            probabilistic_mixture(
+                [SuperOperator.identity(2), unitary_channel(X)], [0.6, 0.6]
+            )
