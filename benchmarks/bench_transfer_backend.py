@@ -1,0 +1,154 @@
+"""Experiment E11 — transfer-matrix backend vs Kraus backend.
+
+The Kraus backend pays a growing Kraus-set cost along while-loop chains (the
+accumulated ``F^η_n`` totals gain one Kraus operator per iteration, and every
+convergence check rebuilds ``d²×d²`` Choi matrices from them), whereas the
+transfer backend carries a single ``d²×d²`` matrix whose per-iteration cost is
+constant.  This benchmark measures the gap on three loop workloads — an
+``n``-qubit Grover sampling loop, the nondeterministic quantum walk and the
+repeat-until-success loops — and asserts both the headline claim (≥ 2x on the
+Grover loop at n ≥ 3) and that the two backends agree on every computed map to
+the library tolerance.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.language.ast import Init, Measurement, Program, Unitary, While, seq
+from repro.linalg.constants import ATOL, H
+from repro.linalg.tensor import kron_all
+from repro.predicates.assertion import QuantumAssertion
+from repro.predicates.predicate import QuantumPredicate
+from repro.programs.grover import (
+    diffusion_matrix,
+    grover_qubit_names,
+    grover_register,
+    oracle_matrix,
+)
+from repro.programs.qwalk import qwalk_program, qwalk_register
+from repro.programs.rus import nondeterministic_rus_program, rus_program, rus_register
+from repro.registers import QubitRegister
+from repro.semantics.denotational import DenotationOptions, denotation
+from repro.semantics.wp import WpOptions, weakest_precondition
+from repro.superop.compare import set_equal
+
+#: Iteration budget for the Grover loop chains (deep enough that the Kraus
+#: backend's per-iteration Choi rebuild cost dominates, as in the real runs).
+GROVER_LOOP_ITERATIONS = 160
+
+#: Required speedup on the 3-qubit Grover loop.  Wall-clock ratios are noisy on
+#: shared CI runners, so the threshold can be relaxed via the environment
+#: (CI sets TRANSFER_BENCH_MIN_SPEEDUP=1.0 as a sanity floor; the default 2.0
+#: is the paper-style claim measured on quiet hardware, typically ~3x).
+MIN_GROVER_SPEEDUP = float(os.environ.get("TRANSFER_BENCH_MIN_SPEEDUP", "2.0"))
+
+
+def grover_loop_program(num_qubits: int, marked: int = 0) -> Program:
+    """Return a Grover *sampling loop*: iterate the Grover step until the
+    marked element is measured.  Unlike the loop-free ``grover_program`` this
+    exercises the while-loop chain construction ``F^η_n`` of Eq. (1)."""
+    qubits = grover_qubit_names(num_qubits)
+    dimension = 2 ** num_qubits
+    step = diffusion_matrix(num_qubits) @ oracle_matrix(num_qubits, marked)
+    p0 = np.zeros((dimension, dimension), dtype=complex)
+    p0[marked, marked] = 1.0
+    p1 = np.eye(dimension, dtype=complex) - p0
+    measurement = Measurement("MGrover", p0, p1)
+    return seq(
+        Init(qubits),
+        Unitary(qubits, "Hn", kron_all([H] * num_qubits)),
+        While(measurement, qubits, Unitary(qubits, "G", step)),
+    )
+
+
+def _best_of(function, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _loop_options(backend: str, max_iterations: int = GROVER_LOOP_ITERATIONS) -> DenotationOptions:
+    return DenotationOptions(
+        backend=backend, max_iterations=max_iterations, convergence_tolerance=1e-12
+    )
+
+
+@pytest.mark.parametrize("num_qubits", [3, 4])
+def test_transfer_backend_speedup_on_grover_loop(benchmark, num_qubits):
+    program = grover_loop_program(num_qubits)
+    register = grover_register(num_qubits)
+    kraus_options = _loop_options("kraus")
+    transfer_options = _loop_options("transfer")
+
+    repeats = 3 if num_qubits == 3 else 2
+    kraus_maps = denotation(program, register, kraus_options)
+    transfer_maps = benchmark.pedantic(
+        lambda: denotation(program, register, transfer_options), rounds=1, iterations=1
+    )
+    assert set_equal(kraus_maps, transfer_maps, atol=ATOL)
+
+    kraus_seconds = _best_of(lambda: denotation(program, register, kraus_options), repeats)
+    transfer_seconds = _best_of(lambda: denotation(program, register, transfer_options), repeats)
+    speedup = kraus_seconds / max(transfer_seconds, 1e-12)
+    benchmark.extra_info["kraus_seconds"] = round(kraus_seconds, 5)
+    benchmark.extra_info["transfer_seconds"] = round(transfer_seconds, 5)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark.extra_info["loop_iterations"] = GROVER_LOOP_ITERATIONS
+    if num_qubits == 3:
+        # Headline acceptance claim: ≥ 2x on the n ≥ 3 qubit Grover loop.
+        assert speedup >= MIN_GROVER_SPEEDUP, (
+            f"expected ≥{MIN_GROVER_SPEEDUP:.1f}x, measured {speedup:.2f}x"
+        )
+    else:
+        # Larger registers shift cost into dense d²×d² matmuls for both
+        # backends; transfer must still not lose.
+        assert speedup >= min(1.0, MIN_GROVER_SPEEDUP), (
+            f"transfer slower than Kraus: {speedup:.2f}x"
+        )
+
+
+def test_transfer_backend_on_qwalk(benchmark):
+    program = qwalk_program()
+    register = qwalk_register()
+    kraus_options = _loop_options("kraus", max_iterations=96)
+    transfer_options = _loop_options("transfer", max_iterations=96)
+
+    kraus_maps = denotation(program, register, kraus_options)
+    transfer_maps = benchmark(lambda: denotation(program, register, transfer_options))
+    assert set_equal(kraus_maps, transfer_maps, atol=ATOL)
+
+    kraus_seconds = _best_of(lambda: denotation(program, register, kraus_options))
+    transfer_seconds = _best_of(lambda: denotation(program, register, transfer_options))
+    benchmark.extra_info["kraus_seconds"] = round(kraus_seconds, 5)
+    benchmark.extra_info["transfer_seconds"] = round(transfer_seconds, 5)
+    benchmark.extra_info["speedup"] = round(kraus_seconds / max(transfer_seconds, 1e-12), 2)
+
+
+@pytest.mark.parametrize("nondeterministic", [False, True], ids=["rus", "rus_ndet"])
+def test_transfer_backend_on_rus(benchmark, nondeterministic):
+    program = nondeterministic_rus_program() if nondeterministic else rus_program()
+    register = rus_register()
+    kraus_options = _loop_options("kraus", max_iterations=96)
+    transfer_options = _loop_options("transfer", max_iterations=96)
+
+    kraus_maps = denotation(program, register, kraus_options)
+    transfer_maps = benchmark(lambda: denotation(program, register, transfer_options))
+    assert set_equal(kraus_maps, transfer_maps, atol=ATOL)
+
+    # The wp transformer must agree across backends on the same workload.
+    post = QuantumAssertion([QuantumPredicate.from_state([[1.0], [0.0]])])
+    kraus_pre = weakest_precondition(program, post, register, WpOptions(backend="kraus"))
+    transfer_pre = weakest_precondition(program, post, register, WpOptions(backend="transfer"))
+    assert kraus_pre.set_equal(transfer_pre)
+
+    kraus_seconds = _best_of(lambda: denotation(program, register, kraus_options))
+    transfer_seconds = _best_of(lambda: denotation(program, register, transfer_options))
+    benchmark.extra_info["kraus_seconds"] = round(kraus_seconds, 5)
+    benchmark.extra_info["transfer_seconds"] = round(transfer_seconds, 5)
+    benchmark.extra_info["speedup"] = round(kraus_seconds / max(transfer_seconds, 1e-12), 2)

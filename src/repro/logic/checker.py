@@ -11,16 +11,14 @@ from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
-
-from ..exceptions import InvalidProofError
+from ..exceptions import InvalidProofError, SemanticsError
 from ..language.ast import Abort, If, Init, NDet, Seq, Skip, Unitary, While
-from ..predicates.assertion import QuantumAssertion
+from ..predicates.assertion import QuantumAssertion, measured_sum
 from ..predicates.order import leq_inf
-from ..predicates.predicate import QuantumPredicate, clip_to_predicate
 from ..registers import QubitRegister
-from ..semantics.denotational import measurement_superoperators
+from ..semantics.denotational import BACKENDS, measurement_superoperators
 from ..superop.kraus import SuperOperator
+from ..superop.transfer import TransferSuperOperator
 from .formula import CorrectnessFormula, CorrectnessMode
 
 __all__ = ["check_rule", "RULE_NAMES"]
@@ -55,6 +53,7 @@ def check_rule(
     premises: Sequence[CorrectnessFormula] = (),
     register: QubitRegister | None = None,
     epsilon: float = 1e-6,
+    backend: str = "kraus",
 ) -> None:
     """Check one application of a proof rule.
 
@@ -70,7 +69,15 @@ def check_rule(
         Register over which assertions are expressed (defaults to the program's).
     epsilon:
         Numerical precision of the ``⊑_inf`` checks.
+    backend:
+        Super-operator representation used when the rule applies a channel to
+        an assertion: ``"kraus"`` (default) or ``"transfer"`` (see
+        :mod:`repro.superop.transfer`).
     """
+    if backend not in BACKENDS:
+        raise SemanticsError(
+            f"unknown semantics backend {backend!r}; expected one of {BACKENDS}"
+        )
     register = conclusion.register(register)
     program = conclusion.program
     pre, post = conclusion.precondition, conclusion.postcondition
@@ -97,6 +104,8 @@ def check_rule(
     if rule == "Init":
         _require(isinstance(program, Init), "(Init) applies to initialisation statements")
         channel = SuperOperator.initializer(len(program.qubits)).embed(program.qubits, register)
+        if backend == "transfer":
+            channel = TransferSuperOperator.from_superoperator(channel)
         expected = post.apply_superoperator_adjoint(channel)
         _require(_assertions_equal(pre, expected), "(Init) precondition must be Σ|i⟩⟨0|Θ|0⟩⟨i|")
         return
@@ -142,7 +151,10 @@ def check_rule(
         _require(_assertions_equal(then_premise.postcondition, post), "(Meas) then-branch postcondition mismatch")
         _require(_assertions_equal(else_premise.postcondition, post), "(Meas) else-branch postcondition mismatch")
         p0, p1 = measurement_superoperators(program, register)
-        expected = _measured_sum(p0, else_premise.precondition, p1, then_premise.precondition)
+        if backend == "transfer":
+            p0 = TransferSuperOperator.from_superoperator(p0)
+            p1 = TransferSuperOperator.from_superoperator(p1)
+        expected = measured_sum(p0, else_premise.precondition, p1, then_premise.precondition)
         _require(_assertions_equal(pre, expected), "(Meas) conclusion precondition must be P⁰(Θ₀)+P¹(Θ₁)")
         return
 
@@ -152,8 +164,11 @@ def check_rule(
         body_premise = premises[0]
         _require(body_premise.program == program.body, "(While) premise must be about the loop body")
         p0, p1 = measurement_superoperators(program, register)
+        if backend == "transfer":
+            p0 = TransferSuperOperator.from_superoperator(p0)
+            p1 = TransferSuperOperator.from_superoperator(p1)
         invariant = body_premise.precondition
-        expected_body_post = _measured_sum(p0, post, p1, invariant)
+        expected_body_post = measured_sum(p0, post, p1, invariant)
         _require(
             _assertions_equal(body_premise.postcondition, expected_body_post),
             "(While) body postcondition must be P⁰(Ψ)+P¹(Θ)",
@@ -194,12 +209,3 @@ def check_rule(
         return
 
     raise InvalidProofError(f"unknown proof rule {rule!r}")
-
-
-def _measured_sum(p0, zero_branch: QuantumAssertion, p1, one_branch: QuantumAssertion) -> QuantumAssertion:
-    predicates = []
-    for m0 in zero_branch.predicates:
-        for m1 in one_branch.predicates:
-            matrix = p0.apply(m0.matrix) + p1.apply(m1.matrix)
-            predicates.append(QuantumPredicate(clip_to_predicate(matrix), validate=False))
-    return QuantumAssertion(predicates)

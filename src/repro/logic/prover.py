@@ -25,9 +25,8 @@ from typing import Dict, List, Optional, Sequence
 
 from ..exceptions import InvariantError, VerificationError
 from ..language.ast import Abort, If, Init, NDet, Program, Seq, Skip, Unitary, While
-from ..predicates.assertion import QuantumAssertion
+from ..predicates.assertion import QuantumAssertion, measured_sum
 from ..predicates.order import OrderCheckResult, leq_inf
-from ..predicates.predicate import QuantumPredicate, clip_to_predicate
 from ..registers import QubitRegister
 from ..semantics.denotational import measurement_superoperators
 from ..superop.kraus import SuperOperator
@@ -105,6 +104,11 @@ class Prover:
         self.invariants = invariants or {}
         self.options = options or ProverOptions()
         self.messages: List[str] = []
+        # Memoises annotations per (AST node, exact postcondition bytes): the
+        # per-predicate (Meas)+(Union) expansion revisits branches with the
+        # same singleton postconditions, which would otherwise compound
+        # multiplicatively under nested conditionals.
+        self._memo: Dict[tuple, AnnotatedStatement] = {}
 
     # ------------------------------------------------------------------ public
     def generate(self, program: Program, postcondition: QuantumAssertion) -> ProofOutline:
@@ -113,11 +117,18 @@ class Prover:
             raise VerificationError(
                 "postcondition dimension does not match the register; embed the assertion first"
             )
+        # The memo keys on id(node); clear it so ids recycled from a previous,
+        # garbage-collected program tree cannot alias.
+        self._memo.clear()
         root = self._annotate(program, postcondition)
         return ProofOutline(root=root)
 
     # ----------------------------------------------------------------- helpers
     def _annotate(self, program: Program, post: QuantumAssertion) -> AnnotatedStatement:
+        key = (id(program), tuple(predicate.matrix.tobytes() for predicate in post.predicates))
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
         handler = {
             Skip: self._annotate_skip,
             Abort: self._annotate_abort,
@@ -130,7 +141,9 @@ class Prover:
         }.get(type(program))
         if handler is None:
             raise VerificationError(f"unsupported construct {type(program).__name__}")
-        return handler(program, post)
+        annotated = handler(program, post)
+        self._memo[key] = annotated
+        return annotated
 
     def _annotate_skip(self, program: Skip, post: QuantumAssertion) -> AnnotatedStatement:
         return AnnotatedStatement(program, post, post, rule="Skip")
@@ -176,9 +189,32 @@ class Prover:
         p0, p1 = measurement_superoperators(program, self.register)
         then_child = self._annotate(program.then_branch, post)
         else_child = self._annotate(program.else_branch, post)
-        pre = _measured_sum(p0, else_child.precondition, p1, then_child.precondition)
+        if post.is_singleton():
+            pre = measured_sum(p0, else_child.precondition, p1, then_child.precondition)
+            rule = "Meas"
+        else:
+            # (Meas) must be applied once per postcondition predicate and the
+            # resulting preconditions joined with (Union).  Crossing the *full*
+            # branch precondition sets instead would pair preconditions that
+            # stem from different postcondition predicates — combinations no
+            # execution can realise — and yield a strictly stronger (hence
+            # incomplete) verification condition on loop-free programs.  The
+            # node is labelled with the derived rule "Meas+Union": its children
+            # summarise the branches against the full postcondition (for
+            # display), so the node is NOT a single (Meas) instance and is not
+            # replayable through check_rule("Meas", ...).  The per-predicate
+            # branch annotations hit the prover's memo when posts repeat, so
+            # nested conditionals do not compound the extra traversals.
+            pre: QuantumAssertion | None = None
+            for predicate in post.predicates:
+                single = QuantumAssertion([predicate])
+                then_pre = self._annotate(program.then_branch, single).precondition
+                else_pre = self._annotate(program.else_branch, single).precondition
+                part = measured_sum(p0, else_pre, p1, then_pre)
+                pre = part if pre is None else pre.union(part)
+            rule = "Meas+Union"
         return AnnotatedStatement(
-            program, pre, post, rule="Meas", children=[then_child, else_child]
+            program, pre, post, rule=rule, children=[then_child, else_child]
         )
 
     def _annotate_while(self, program: While, post: QuantumAssertion) -> AnnotatedStatement:
@@ -194,7 +230,7 @@ class Prover:
             if invariant.dimension != self.register.dimension:
                 raise InvariantError("loop invariant dimension does not match the register")
         p0, p1 = measurement_superoperators(program, self.register)
-        loop_condition = _measured_sum(p0, post, p1, invariant)
+        loop_condition = measured_sum(p0, post, p1, invariant)
         body_child = self._annotate(program.body, loop_condition)
         premise_check = leq_inf(invariant, body_child.precondition, epsilon=self.options.epsilon)
         if not premise_check.holds:
@@ -230,21 +266,6 @@ class Prover:
             children=[body_child],
             note=f"inv: {invariant.name or 'Θ'}",
         )
-
-
-def _measured_sum(
-    p0: SuperOperator,
-    zero_branch: QuantumAssertion,
-    p1: SuperOperator,
-    one_branch: QuantumAssertion,
-) -> QuantumAssertion:
-    """Return the assertion ``P⁰(Θ₀) + P¹(Θ₁)`` used by rules (Meas) and (While)."""
-    predicates = []
-    for m0 in zero_branch.predicates:
-        for m1 in one_branch.predicates:
-            matrix = p0.apply(m0.matrix) + p1.apply(m1.matrix)
-            predicates.append(QuantumPredicate(clip_to_predicate(matrix), validate=False))
-    return QuantumAssertion(predicates)
 
 
 def verify_formula(

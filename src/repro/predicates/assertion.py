@@ -15,9 +15,9 @@ from typing import Iterable, Iterator, List, Sequence
 import numpy as np
 
 from ..exceptions import AssertionFormatError, DimensionMismatchError
-from .predicate import QuantumPredicate
+from .predicate import QuantumPredicate, clip_to_predicate
 
-__all__ = ["QuantumAssertion"]
+__all__ = ["QuantumAssertion", "measured_sum"]
 
 
 class QuantumAssertion:
@@ -184,3 +184,19 @@ class QuantumAssertion:
     def __repr__(self) -> str:
         label = self.name or "QuantumAssertion"
         return f"{label}(dim={self.dimension}, predicates={len(self._predicates)})"
+
+
+def measured_sum(p0, zero_branch: QuantumAssertion, p1, one_branch: QuantumAssertion) -> QuantumAssertion:
+    """Return the assertion ``P⁰(Θ₀) + P¹(Θ₁)`` used by rules (Meas) and (While).
+
+    ``p0``/``p1`` may be any channel representation exposing ``apply`` (Kraus
+    or transfer form).  Every pair of predicates from the two operand
+    assertions is combined, matching the paper's extension of the measured sum
+    to assertion sets.
+    """
+    predicates = []
+    for m0 in zero_branch.predicates:
+        for m1 in one_branch.predicates:
+            matrix = p0.apply(m0.matrix) + p1.apply(m1.matrix)
+            predicates.append(QuantumPredicate(clip_to_predicate(matrix), validate=False))
+    return QuantumAssertion(predicates)

@@ -14,12 +14,26 @@ quantum variables:
 
 For loop-free programs the computed set is exact (up to floating point); for
 programs with loops the caller controls which schedulers are explored.
+
+Two interchangeable backends compute the same semantics:
+
+* ``backend="kraus"`` (default) — maps are
+  :class:`~repro.superop.kraus.SuperOperator` in Kraus form; faithful to the
+  paper's presentation, but ``Seq`` composition multiplies Kraus counts.
+* ``backend="transfer"`` — maps are
+  :class:`~repro.superop.transfer.TransferSuperOperator` and denotation sets
+  are carried as one stacked :class:`~repro.superop.transfer.TransferSet`, so
+  every composition/comparison is a batched dense matrix operation.
+
+Both backends return objects sharing the channel protocol (``apply``,
+``apply_adjoint``, ``compose``, ``choi``, ``equals``, ``precedes``), so all
+downstream consumers (wp/wlp, equivalence, model checking) work with either.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -28,6 +42,7 @@ from ..language.ast import Abort, If, Init, NDet, Program, Seq, Skip, Unitary, W
 from ..registers import QubitRegister
 from ..superop.compare import deduplicate
 from ..superop.kraus import SuperOperator
+from ..superop.transfer import TransferSet, TransferSuperOperator
 from .schedulers import ConstantScheduler, Scheduler, constant_schedulers, sample_schedulers
 
 __all__ = [
@@ -37,6 +52,9 @@ __all__ = [
     "loop_iterates",
     "measurement_superoperators",
 ]
+
+#: The recognised values of ``DenotationOptions.backend``.
+BACKENDS = ("kraus", "transfer")
 
 
 @dataclass
@@ -57,9 +75,12 @@ class DenotationOptions:
         Number of additional pseudo-random schedulers to sample per loop.
     simplify_threshold:
         Kraus decompositions larger than this are re-canonicalised via the Choi
-        matrix to keep compositions tractable.
+        matrix to keep compositions tractable (Kraus backend only; the transfer
+        representation has constant size by construction).
     dedup:
         Whether to remove duplicate super-operators from denotation sets.
+    backend:
+        ``"kraus"`` or ``"transfer"`` — see the module docstring.
     """
 
     max_iterations: int = 64
@@ -68,6 +89,13 @@ class DenotationOptions:
     sampled_schedulers: int = 2
     simplify_threshold: int = 64
     dedup: bool = True
+    backend: str = "kraus"
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise SemanticsError(
+                f"unknown semantics backend {self.backend!r}; expected one of {BACKENDS}"
+            )
 
 
 def measurement_superoperators(statement, register: QubitRegister):
@@ -77,22 +105,41 @@ def measurement_superoperators(statement, register: QubitRegister):
     return SuperOperator([p0], validate=False), SuperOperator([p1], validate=False)
 
 
+def _measurement_transfer(statement, register: QubitRegister):
+    """Transfer-backend analogue of :func:`measurement_superoperators`."""
+    p0 = register.embed(statement.measurement.p0, statement.qubits)
+    p1 = register.embed(statement.measurement.p1, statement.qubits)
+    return (
+        TransferSuperOperator.from_kraus([p0]),
+        TransferSuperOperator.from_kraus([p1]),
+    )
+
+
 def denotation(
     program: Program,
     register: QubitRegister | None = None,
     options: DenotationOptions | None = None,
-) -> List[SuperOperator]:
+) -> List:
     """Compute (an approximation of) the denotation ``[[S]]`` over ``register``.
 
     The result is exact for loop-free programs.  For programs containing while
     loops, one super-operator per explored scheduler is produced, each obtained
     by truncating the non-decreasing chain of Eq. (1) at numerical convergence.
+
+    Returns a list of :class:`SuperOperator` (Kraus backend) or
+    :class:`TransferSuperOperator` (transfer backend); both satisfy the same
+    channel protocol.
     """
     register = register or QubitRegister.for_program(program)
     options = options or DenotationOptions()
     missing = set(program.quantum_variables()) - set(register.names)
     if missing:
         raise SemanticsError(f"register does not contain program variables {sorted(missing)}")
+    if options.backend == "transfer":
+        maps = _denote_transfer(program, register, options)
+        if options.dedup:
+            maps = maps.deduplicated()
+        return maps.operators()
     maps = _denote(program, register, options)
     if options.dedup:
         maps = deduplicate(maps)
@@ -112,7 +159,7 @@ def apply_denotation(
 
 
 # ---------------------------------------------------------------------------
-# Structural recursion
+# Structural recursion — Kraus backend
 # ---------------------------------------------------------------------------
 
 
@@ -161,52 +208,170 @@ def _denote(program: Program, register: QubitRegister, options: DenotationOption
     raise SemanticsError(f"unknown program construct {type(program).__name__}")
 
 
+# ---------------------------------------------------------------------------
+# Structural recursion — transfer backend (batched)
+# ---------------------------------------------------------------------------
+
+
+def _denote_transfer(
+    program: Program, register: QubitRegister, options: DenotationOptions
+) -> TransferSet:
+    dimension = register.dimension
+
+    if isinstance(program, Skip):
+        return TransferSet.singleton(TransferSuperOperator.identity(dimension))
+    if isinstance(program, Abort):
+        return TransferSet.singleton(TransferSuperOperator.zero(dimension))
+    if isinstance(program, Init):
+        kraus = SuperOperator.initializer(len(program.qubits)).kraus_operators
+        embedded = [register.embed(operator, program.qubits) for operator in kraus]
+        return TransferSet.singleton(TransferSuperOperator.from_kraus(embedded))
+    if isinstance(program, Unitary):
+        embedded = register.embed(program.matrix, program.qubits)
+        return TransferSet.singleton(TransferSuperOperator.from_unitary(embedded))
+    if isinstance(program, Seq):
+        current = TransferSet.singleton(TransferSuperOperator.identity(dimension))
+        for statement in program.statements:
+            step = _denote_transfer(statement, register, options)
+            current = step.compose_pairwise(current)
+            if options.dedup and len(current) > 1:
+                current = current.deduplicated()
+        return current
+    if isinstance(program, NDet):
+        pieces = [_denote_transfer(branch, register, options) for branch in program.branches]
+        combined = pieces[0]
+        for piece in pieces[1:]:
+            combined = combined.concatenate(piece)
+        return combined
+    if isinstance(program, If):
+        p0, p1 = _measurement_transfer(program, register)
+        else_set = _denote_transfer(program.else_branch, register, options).after_each(p0)
+        then_set = _denote_transfer(program.then_branch, register, options).after_each(p1)
+        return else_set.branch_sum_pairwise(then_set)
+    if isinstance(program, While):
+        return TransferSet.from_operators(_denote_while_transfer(program, register, options))
+    raise SemanticsError(f"unknown program construct {type(program).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# While loops (both backends)
+# ---------------------------------------------------------------------------
+
+
+def _loop_schedulers(options, num_choices: int) -> List[Scheduler]:
+    """Build the scheduler list for a loop from ``DenotationOptions`` or ``WpOptions``.
+
+    Both option types expose ``schedulers`` and ``sampled_schedulers``; this is
+    the single place the default exploration policy (one constant scheduler
+    per branch plus sampled random ones) is defined.
+    """
+    schedulers = list(options.schedulers) if options.schedulers is not None else None
+    if schedulers is None:
+        schedulers = list(constant_schedulers(num_choices))
+        if num_choices > 1 and options.sampled_schedulers > 0:
+            schedulers.extend(sample_schedulers(options.sampled_schedulers))
+    return schedulers
+
+
+def _explore_loop(program, register, body_maps, options: DenotationOptions) -> List:
+    """Run :func:`loop_iterates` for every scheduler, sharing prefixes when useful.
+
+    A prefix cache only pays off when several schedulers can agree on a choice
+    sequence; with a single scheduler it would retain every intermediate
+    prefix for no benefit, so memoisation is engaged only for multi-scheduler
+    exploration.
+    """
+    schedulers = _loop_schedulers(options, len(body_maps))
+    prefix_cache: Optional[Dict[Tuple[int, ...], object]] = {} if len(schedulers) > 1 else None
+    results = []
+    for scheduler in schedulers:
+        iterates = loop_iterates(
+            program, register, body_maps, scheduler, options, prefix_cache=prefix_cache
+        )
+        results.append(iterates[-1])
+    return results
+
+
 def _denote_while(
     program: While, register: QubitRegister, options: DenotationOptions
 ) -> List[SuperOperator]:
     body_maps = _denote(program.body, register, options)
-    schedulers = list(options.schedulers) if options.schedulers is not None else None
-    if schedulers is None:
-        schedulers = list(constant_schedulers(len(body_maps)))
-        if len(body_maps) > 1 and options.sampled_schedulers > 0:
-            schedulers.extend(sample_schedulers(options.sampled_schedulers))
-    results = []
-    for scheduler in schedulers:
-        iterates = loop_iterates(program, register, body_maps, scheduler, options)
-        results.append(iterates[-1])
-    return results
+    return _explore_loop(program, register, body_maps, options)
+
+
+def _denote_while_transfer(
+    program: While, register: QubitRegister, options: DenotationOptions
+) -> List[TransferSuperOperator]:
+    body_maps = _denote_transfer(program.body, register, options).operators()
+    return _explore_loop(program, register, body_maps, options)
 
 
 def loop_iterates(
     program: While,
     register: QubitRegister,
-    body_maps: Sequence[SuperOperator],
+    body_maps: Sequence,
     scheduler: Scheduler,
     options: DenotationOptions | None = None,
-) -> List[SuperOperator]:
+    prefix_cache: Optional[Dict[Tuple[int, ...], object]] = None,
+) -> List:
     """Return the chain ``F^η_0 ⪯ F^η_1 ⪯ …`` of Eq. (1) under one scheduler.
 
     The chain is truncated at numerical convergence (increment below the
     configured tolerance) or after ``max_iterations`` elements.  The final
     element approximates the least upper bound, i.e. the loop's semantics under
     the scheduler.
+
+    ``body_maps`` may be Kraus-form or transfer-form channels; the measurement
+    projections are built in the matching representation.
+
+    ``prefix_cache``, when supplied, memoises the loop prefixes
+    ``η_n ∘ P¹ ∘ … ∘ η_1 ∘ P¹`` keyed by the scheduler's choice sequence, so
+    the ``F^η_n`` chains of different schedulers share the work of any common
+    prefix (all schedulers share at least the empty prefix, and sampled
+    schedulers frequently agree on longer ones) instead of recomputing every
+    composition per scheduler.  Pass ``None`` (the default) when exploring a
+    single scheduler: the chain is then computed with a rolling prefix and no
+    history is retained.
     """
     options = options or DenotationOptions()
-    p0, p1 = measurement_superoperators(program, register)
-    dimension = register.dimension
+    transfer_mode = bool(body_maps) and isinstance(body_maps[0], TransferSuperOperator)
+    if transfer_mode:
+        p0, p1 = _measurement_transfer(program, register)
+        identity = TransferSuperOperator.identity(register.dimension)
+    else:
+        p0, p1 = measurement_superoperators(program, register)
+        identity = SuperOperator.identity(register.dimension)
 
-    iterates: List[SuperOperator] = []
+    iterates: List = []
+    # step_k = η_k ∘ P¹ is iteration-independent; build each at most once.
+    steps: Dict[int, object] = {}
     # prefix_i = η_i ∘ P¹ ∘ … ∘ η_1 ∘ P¹ ; the i = 0 prefix is the identity map.
-    prefix = SuperOperator.identity(dimension)
+    choices: Tuple[int, ...] = ()
+    if prefix_cache is not None:
+        prefix = prefix_cache.setdefault(choices, identity)
+    else:
+        prefix = identity
     total = p0.compose(prefix)
     iterates.append(total)
     for iteration in range(1, options.max_iterations + 1):
         choice = scheduler.select(iteration, len(body_maps))
-        prefix = _maybe_simplify(body_maps[choice].compose(p1).compose(prefix), options)
+        choices = choices + (choice,)
+        cached = prefix_cache.get(choices) if prefix_cache is not None else None
+        if cached is None:
+            step = steps.get(choice)
+            if step is None:
+                step = steps.setdefault(choice, body_maps[choice].compose(p1))
+            cached = _maybe_simplify(step.compose(prefix), options)
+            if prefix_cache is not None:
+                prefix_cache[choices] = cached
+        prefix = cached
         increment = p0.compose(prefix)
         new_total = _maybe_simplify(total + increment, options)
         iterates.append(new_total)
-        gap = float(np.abs(new_total.choi() - total.choi()).sum())
+        if transfer_mode:
+            gap = float(np.abs(new_total.matrix - total.matrix).sum())
+        else:
+            gap = float(np.abs(new_total.choi() - total.choi()).sum())
         total = new_total
         if gap < options.convergence_tolerance:
             break
@@ -217,7 +382,7 @@ def loop_iterates(
     return iterates
 
 
-def _maybe_simplify(channel: SuperOperator, options: DenotationOptions) -> SuperOperator:
-    if len(channel.kraus_operators) > options.simplify_threshold:
+def _maybe_simplify(channel, options: DenotationOptions):
+    if isinstance(channel, SuperOperator) and len(channel.kraus_operators) > options.simplify_threshold:
         return channel.simplified()
     return channel

@@ -10,6 +10,7 @@ schedulers, approximately for loops.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Tuple
 
 from ..language.ast import Program
@@ -27,10 +28,15 @@ def common_register(first: Program, second: Program) -> QubitRegister:
 
 
 def _denotations(
-    first: Program, second: Program, options: DenotationOptions | None
+    first: Program,
+    second: Program,
+    options: DenotationOptions | None,
+    backend: str | None,
 ) -> Tuple[list, list, QubitRegister]:
     register = common_register(first, second)
     options = options or DenotationOptions()
+    if backend is not None and backend != options.backend:
+        options = replace(options, backend=backend)
     return (
         denotation(first, register, options),
         denotation(second, register, options),
@@ -43,13 +49,16 @@ def programs_equivalent(
     second: Program,
     options: DenotationOptions | None = None,
     atol: float = 1e-6,
+    backend: str | None = None,
 ) -> bool:
     """Return ``True`` when ``[[first]] = [[second]]`` over the common register.
 
     Exact for loop-free programs; for loops the comparison is relative to the
-    explored schedulers.
+    explored schedulers.  ``backend`` overrides the representation used for
+    both denotations (``"kraus"`` or ``"transfer"``); the set comparison
+    itself is representation-agnostic.
     """
-    first_maps, second_maps, _ = _denotations(first, second, options)
+    first_maps, second_maps, _ = _denotations(first, second, options, backend)
     return set_equal(first_maps, second_maps, atol=atol)
 
 
@@ -58,6 +67,7 @@ def program_refines(
     specification: Program,
     options: DenotationOptions | None = None,
     atol: float = 1e-6,
+    backend: str | None = None,
 ) -> bool:
     """Return ``True`` when every behaviour of ``implementation`` is allowed by ``specification``.
 
@@ -65,5 +75,7 @@ def program_refines(
     ``[[implementation]] ⊆ [[specification]]`` — the notion of refinement that
     stepwise program development relies on.
     """
-    implementation_maps, specification_maps, _ = _denotations(implementation, specification, options)
+    implementation_maps, specification_maps, _ = _denotations(
+        implementation, specification, options, backend
+    )
     return set_subset(implementation_maps, specification_maps, atol=atol)

@@ -29,20 +29,35 @@ from ..predicates.assertion import QuantumAssertion
 from ..predicates.predicate import QuantumPredicate, clip_to_predicate
 from ..registers import QubitRegister
 from ..superop.kraus import SuperOperator
-from .denotational import measurement_superoperators
-from .schedulers import Scheduler, constant_schedulers, sample_schedulers
+from ..superop.transfer import TransferSuperOperator
+from .denotational import BACKENDS, _loop_schedulers, measurement_superoperators
+from .schedulers import Scheduler
 
 __all__ = ["WpOptions", "weakest_precondition", "weakest_liberal_precondition"]
 
 
 @dataclass
 class WpOptions:
-    """Options controlling the loop approximation of the wp/wlp transformers."""
+    """Options controlling the loop approximation of the wp/wlp transformers.
+
+    ``backend`` selects the super-operator representation used for the loop
+    bodies: ``"kraus"`` applies adjoints Kraus operator by Kraus operator,
+    ``"transfer"`` turns every adjoint application into a single
+    conjugate-transpose matmul on the vectorised predicate (see
+    :mod:`repro.superop.transfer`).
+    """
 
     max_iterations: int = 64
     schedulers: Optional[Sequence[Scheduler]] = None
     sampled_schedulers: int = 2
     convergence_tolerance: float = 1e-9
+    backend: str = "kraus"
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise SemanticsError(
+                f"unknown semantics backend {self.backend!r}; expected one of {BACKENDS}"
+            )
 
 
 def weakest_precondition(
@@ -100,6 +115,8 @@ def _xp_single(
         return [QuantumPredicate.zero(register.num_qubits)]
     if isinstance(program, Init):
         channel = SuperOperator.initializer(len(program.qubits)).embed(program.qubits, register)
+        if options.backend == "transfer":
+            channel = TransferSuperOperator.from_superoperator(channel)
         return [post.apply_superoperator_adjoint(channel)]
     if isinstance(program, Unitary):
         embedded = register.embed(program.matrix, program.qubits)
@@ -149,11 +166,7 @@ def _xp_while(
     """
     p0, p1 = measurement_superoperators(program, register)
     body_choices = _body_denotations(program, register, options)
-    schedulers = list(options.schedulers) if options.schedulers is not None else None
-    if schedulers is None:
-        schedulers = list(constant_schedulers(len(body_choices)))
-        if len(body_choices) > 1 and options.sampled_schedulers > 0:
-            schedulers.extend(sample_schedulers(options.sampled_schedulers))
+    schedulers = _loop_schedulers(options, len(body_choices))
 
     identity = np.eye(register.dimension, dtype=complex)
     results: List[QuantumPredicate] = []
@@ -177,9 +190,7 @@ def _xp_while(
     return _dedup(results)
 
 
-def _body_denotations(
-    program: While, register: QubitRegister, options: WpOptions
-) -> List[SuperOperator]:
+def _body_denotations(program: While, register: QubitRegister, options: WpOptions) -> List:
     from .denotational import DenotationOptions, denotation
 
     body_options = DenotationOptions(
@@ -187,6 +198,7 @@ def _body_denotations(
         convergence_tolerance=options.convergence_tolerance,
         schedulers=options.schedulers,
         sampled_schedulers=options.sampled_schedulers,
+        backend=options.backend,
     )
     return denotation(program.body, register, body_options)
 

@@ -1,4 +1,20 @@
-"""Super-operator substrate (S2): Kraus maps, Choi matrices, channels and orderings."""
+"""Super-operator substrate (S2): Kraus maps, Choi matrices, transfer matrices, channels and orderings.
+
+Three faithful representations of a completely positive map are provided:
+
+* **Kraus** (:mod:`.kraus`) — a finite operator list ``{E_i}``; best for
+  applying a small map to individual states.
+* **Choi** (:mod:`.choi`) — the ``d²×d²`` positive matrix ``Σ vec(E_i)vec(E_i)†``;
+  best for order/positivity questions (Lemma 3.1) and for recovering minimal
+  Kraus decompositions.
+* **Transfer/Liouville** (:mod:`.transfer`) — the ``d²×d²`` matrix acting on
+  vectorised states; best whenever maps are composed, iterated or compared,
+  since all of those become single dense matrix operations.
+
+Conversions between the three are lossless: Kraus→Choi is a sum of outer
+products, Choi↔transfer is a cheap index reshuffle, and Choi→Kraus is an
+eigendecomposition.
+"""
 
 from .channels import (
     amplitude_damping_channel,
@@ -33,5 +49,13 @@ from .compare import (
     superoperator_precedes,
 )
 from .kraus import SuperOperator
+from .transfer import (
+    TransferSet,
+    TransferSuperOperator,
+    choi_from_transfer,
+    kraus_from_transfer,
+    transfer_from_choi,
+    transfer_matrix,
+)
 
 __all__ = [name for name in dir() if not name.startswith("_")]

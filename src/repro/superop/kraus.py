@@ -8,11 +8,20 @@ The class supports exactly the algebra used by the denotational and weakest
 precondition semantics: application to states, adjoint application to
 predicates, composition, pointwise addition, scaling, tensor products and the
 CPO order ``⪯`` of Sec. 3.2.
+
+The Kraus form is one of three faithful representations available in
+:mod:`repro.superop` (the others being the Choi matrix of
+:mod:`~repro.superop.choi` and the transfer matrix of
+:mod:`~repro.superop.transfer`).  Kraus wins when a map with few operators is
+applied to individual states (``k·d³`` per application); it loses when maps
+are repeatedly composed or compared, because the operator count multiplies
+under composition and every comparison requires rebuilding a ``d²×d²`` Choi
+matrix.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Sequence, Tuple
 
 import numpy as np
 
@@ -48,7 +57,7 @@ class SuperOperator:
                 raise DimensionMismatchError(
                     f"all Kraus operators must be {dimension}x{dimension} square matrices"
                 )
-        self._kraus: List[np.ndarray] = kraus
+        self._kraus: Tuple[np.ndarray, ...] = tuple(kraus)
         self._dimension = dimension
         if validate and not self.is_trace_nonincreasing():
             raise SuperOperatorError("super-operator is not trace non-increasing")
@@ -85,9 +94,9 @@ class SuperOperator:
         can be read as the super-operator ``p · I`` on any system; in particular
         ``1`` is the semantics of ``skip`` and ``0`` the semantics of ``abort``.
         """
-        if not 0.0 <= value <= 1.0 + ATOL:
+        if not -ATOL <= value <= 1.0 + ATOL:
             raise SuperOperatorError("a scalar super-operator must have a value in [0, 1]")
-        return cls([np.sqrt(value) * np.eye(dimension, dtype=complex)], validate=False)
+        return cls([np.sqrt(max(value, 0.0)) * np.eye(dimension, dtype=complex)], validate=False)
 
     @classmethod
     def from_projectors(cls, projectors: Iterable[np.ndarray]) -> "SuperOperator":
@@ -110,8 +119,12 @@ class SuperOperator:
 
     # ------------------------------------------------------------- properties
     @property
-    def kraus_operators(self) -> List[np.ndarray]:
-        """The list of Kraus operators (copies are not made; treat as read-only)."""
+    def kraus_operators(self) -> Tuple[np.ndarray, ...]:
+        """The Kraus operators, as a tuple so the channel cannot be mutated in place.
+
+        The individual arrays are shared (not copied) for performance; treat
+        them as read-only as well.
+        """
         return self._kraus
 
     @property
@@ -142,6 +155,12 @@ class SuperOperator:
     def choi(self) -> np.ndarray:
         """Return the (unnormalised) Choi matrix of the map."""
         return choi_matrix(self._kraus)
+
+    def transfer(self) -> np.ndarray:
+        """Return the transfer (Liouville) matrix ``Σ_i E_i ⊗ conj(E_i)``."""
+        from .transfer import transfer_matrix  # deferred: transfer builds on kraus
+
+        return transfer_matrix(self._kraus)
 
     # -------------------------------------------------------------- application
     def apply(self, rho: np.ndarray) -> np.ndarray:
@@ -216,26 +235,38 @@ class SuperOperator:
         return SuperOperator(kraus, validate=False)
 
     # ----------------------------------------------------------------- ordering
-    def equals(self, other: "SuperOperator", atol: float = 1e-7) -> bool:
-        """Return ``True`` when both maps are equal (same Choi matrix)."""
-        if self._dimension != other._dimension:
+    def equals(self, other, atol: float = ATOL) -> bool:
+        """Return ``True`` when both maps are equal (same Choi matrix).
+
+        Accepts any representation exposing ``choi()``/``dimension``, so
+        Kraus-form and transfer-form maps compare transparently.
+        """
+        if self._dimension != other.dimension:
             return False
         return bool(np.allclose(self.choi(), other.choi(), atol=atol))
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, SuperOperator) and self.equals(other)
+        if isinstance(other, SuperOperator):
+            return self.equals(other)
+        from .transfer import TransferSuperOperator  # deferred: transfer builds on kraus
+
+        if isinstance(other, TransferSuperOperator):
+            return self.equals(other)
+        return NotImplemented
 
     def __hash__(self) -> int:
+        # Both representations hash the rounded Choi matrix so that maps that
+        # compare equal across representations also hash equal.
         choi = np.round(self.choi(), 6)
         return hash((self._dimension, choi.tobytes()))
 
-    def precedes(self, other: "SuperOperator", atol: float = 1e-7) -> bool:
+    def precedes(self, other, atol: float = ATOL) -> bool:
         """Return ``True`` when ``self ⪯ other`` in the CPO of super-operators.
 
         By Lemma 3.1 this holds iff ``other − self`` is completely positive,
         i.e. iff the difference of Choi matrices is positive semidefinite.
         """
-        if self._dimension != other._dimension:
+        if self._dimension != other.dimension:
             return False
         difference = other.choi() - self.choi()
         return is_positive(difference, atol=max(atol, 1e-7))

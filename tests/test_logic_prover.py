@@ -77,6 +77,31 @@ class TestLoopFreePrograms:
         weak = CorrectnessFormula(A(np.zeros((2, 2))), program, A(P0))
         assert verify_formula(weak, q_register).verified
 
+    def test_conditional_after_ndet_matches_wlp_exactly(self, q_register):
+        """Regression: (Meas) is applied per postcondition predicate.
+
+        With a multi-predicate assertion flowing backward into a conditional
+        (here produced by the (skip # abort) choice), the old prover crossed
+        the full branch precondition sets and produced a VC strictly below the
+        weakest liberal precondition; the VC must equal the wlp set.
+        """
+        from repro.semantics.wp import weakest_liberal_precondition
+
+        program = seq(
+            If(MEAS_COMPUTATIONAL, ("q",), Skip(), Skip()),
+            ndet(Skip(), Abort()),
+        )
+        post = A(np.array([[0.7, 0.1], [0.1, 0.5]], dtype=complex))
+        formula = CorrectnessFormula(
+            QuantumAssertion.zero(1), program, post, CorrectnessMode.PARTIAL
+        )
+        report = verify_formula(formula, q_register)
+        assert report.verified
+        expected = weakest_liberal_precondition(program, post, q_register)
+        assert report.verification_condition.set_equal(expected)
+        # The derived-rule label marks the per-predicate (Meas)+(Union) step.
+        assert "Meas+Union" in report.outline.rules_used()
+
     def test_failed_verification_reports_message(self, q_register):
         report = verify_formula(CorrectnessFormula(A(I2), Unitary(("q",), "X", X), A(P0)), q_register)
         assert not report.verified
