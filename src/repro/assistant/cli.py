@@ -18,10 +18,34 @@ import numpy as np
 from ..exceptions import ReproError
 from ..logic.formula import CorrectnessMode
 from ..logic.prover import ProverOptions
+from ..semantics.denotational import BACKENDS, LIFTINGS
 from .session import Session
 from .verify import verify_source
 
 __all__ = ["build_arg_parser", "main"]
+
+
+#: Epilog explaining the performance knobs; shown by ``--help``.
+_EPILOG = """\
+performance options:
+  The semantic engines offer two orthogonal switches (see README "Scaling
+  guide" for measured numbers):
+
+  --backend kraus     operator-list (Kraus) representation; the paper's
+                      presentation, best at small registers (default)
+  --backend transfer  d²×d² transfer-matrix representation; every
+                      composition is one dense matmul, best for loop-heavy
+                      programs from ~3 qubits up
+
+  --lifting dense     every gate is eagerly promoted to the full register
+                      via np.kron before any product (default)
+  --lifting local     gates stay (small matrix, target qubits) and products
+                      contract only the targeted tensor factors; best for
+                      gate-local circuits from ~4 qubits up
+
+  Both switches are semantics-preserving: all four combinations agree to the
+  library tolerance on every shipped case study.
+"""
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
@@ -29,6 +53,8 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="nqpv-verify",
         description="Verify nondeterministic quantum programs (reproduction of NQPV, ASPLOS'23).",
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument("source", help="path to the annotated program or command script")
     parser.add_argument(
@@ -46,6 +72,19 @@ def build_arg_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--epsilon", type=float, default=1e-6, help="precision of the order decision procedure"
+    )
+    parser.add_argument(
+        "--backend",
+        choices=list(BACKENDS),
+        default="kraus",
+        help="super-operator representation used by the semantic engines (default: kraus)",
+    )
+    parser.add_argument(
+        "--lifting",
+        choices=list(LIFTINGS),
+        default="dense",
+        help="operator promotion strategy: dense np.kron embedding or "
+        "structure-aware local contraction (default: dense)",
     )
     parser.add_argument(
         "--script",
@@ -72,7 +111,11 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     session = Session(
         mode=CorrectnessMode(arguments.mode),
-        options=ProverOptions(epsilon=arguments.epsilon),
+        options=ProverOptions(
+            epsilon=arguments.epsilon,
+            backend=arguments.backend,
+            lifting=arguments.lifting,
+        ),
         base_path=source_path.parent,
     )
     try:

@@ -113,6 +113,8 @@ def verify(
     operators: Optional[Dict[str, np.ndarray]] = None,
     mode: str = "partial",
     epsilon: float = 1e-6,
+    backend: str = "kraus",
+    lifting: str = "dense",
 ) -> VerificationReport:
     """Convenience wrapper mirroring ``nqpv.verify``: source text plus extra operators.
 
@@ -128,11 +130,20 @@ def verify(
         ``"partial"`` (the default, as in NQPV) or ``"total"``.
     epsilon:
         Precision of the ``⊑_inf`` decision procedure.
+    backend:
+        Super-operator representation of the semantic engines: ``"kraus"``
+        (default) or ``"transfer"``.
+    lifting:
+        Operator promotion strategy: ``"dense"`` (default) or ``"local"``
+        (structure-aware contraction; see the README scaling guide).
     """
     environment = default_environment()
     for name, matrix in (operators or {}).items():
         environment.define(name, matrix)
     correctness_mode = CorrectnessMode(mode)
     return verify_source(
-        source, environment, mode=correctness_mode, options=ProverOptions(epsilon=epsilon)
+        source,
+        environment,
+        mode=correctness_mode,
+        options=ProverOptions(epsilon=epsilon, backend=backend, lifting=lifting),
     )

@@ -33,6 +33,7 @@ __all__ = [
     "eigenvalue_bounds",
     "outer",
     "commutator",
+    "kraus_gram",
     "num_qubits_of",
     "trace_inner",
 ]
@@ -195,6 +196,23 @@ def commutator(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     b = as_operator(b)
     check_same_shape(a, b)
     return a @ b - b @ a
+
+
+def kraus_gram(operators: Iterable[np.ndarray]) -> np.ndarray:
+    """Return the gram ``Σ_i E_i†E_i`` of a non-empty Kraus operator list.
+
+    The gram decides trace preservation (``= I``), the trace non-increasing
+    side condition (``⊑ I``) and the maximal success probability
+    (``λ_max``); it is shared by the Kraus-form and local super-operator
+    representations.
+    """
+    operators = [np.asarray(operator, dtype=complex) for operator in operators]
+    if not operators:
+        raise LinalgError("kraus_gram requires at least one operator")
+    gram = np.zeros_like(operators[0])
+    for operator in operators:
+        gram = gram + dagger(operator) @ operator
+    return gram
 
 
 def num_qubits_of(matrix: np.ndarray) -> int:

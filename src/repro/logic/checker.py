@@ -16,9 +16,13 @@ from ..language.ast import Abort, If, Init, NDet, Seq, Skip, Unitary, While
 from ..predicates.assertion import QuantumAssertion, measured_sum
 from ..predicates.order import leq_inf
 from ..registers import QubitRegister
-from ..semantics.denotational import BACKENDS, measurement_superoperators
-from ..superop.kraus import SuperOperator
-from ..superop.transfer import TransferSuperOperator
+from ..semantics.denotational import (
+    BACKENDS,
+    _check_lifting,
+    initializer_channel,
+    measurement_pair,
+)
+from ..superop.local import LocalSuperOperator
 from .formula import CorrectnessFormula, CorrectnessMode
 
 __all__ = ["check_rule", "RULE_NAMES"]
@@ -43,6 +47,8 @@ def _require(condition: bool, message: str) -> None:
         raise InvalidProofError(message)
 
 
+
+
 def _assertions_equal(a: QuantumAssertion, b: QuantumAssertion) -> bool:
     return a.set_equal(b)
 
@@ -54,6 +60,7 @@ def check_rule(
     register: QubitRegister | None = None,
     epsilon: float = 1e-6,
     backend: str = "kraus",
+    lifting: str = "dense",
 ) -> None:
     """Check one application of a proof rule.
 
@@ -73,11 +80,16 @@ def check_rule(
         Super-operator representation used when the rule applies a channel to
         an assertion: ``"kraus"`` (default) or ``"transfer"`` (see
         :mod:`repro.superop.transfer`).
+    lifting:
+        ``"dense"`` (default) materialises cylinder extensions; ``"local"``
+        contracts only the targeted tensor factors (see
+        :mod:`repro.superop.local`).
     """
     if backend not in BACKENDS:
         raise SemanticsError(
             f"unknown semantics backend {backend!r}; expected one of {BACKENDS}"
         )
+    _check_lifting(lifting)
     register = conclusion.register(register)
     program = conclusion.program
     pre, post = conclusion.precondition, conclusion.postcondition
@@ -103,17 +115,21 @@ def check_rule(
 
     if rule == "Init":
         _require(isinstance(program, Init), "(Init) applies to initialisation statements")
-        channel = SuperOperator.initializer(len(program.qubits)).embed(program.qubits, register)
-        if backend == "transfer":
-            channel = TransferSuperOperator.from_superoperator(channel)
+        channel = initializer_channel(program.qubits, register, backend, lifting)
         expected = post.apply_superoperator_adjoint(channel)
         _require(_assertions_equal(pre, expected), "(Init) precondition must be Σ|i⟩⟨0|Θ|0⟩⟨i|")
         return
 
     if rule == "Unit":
         _require(isinstance(program, Unitary), "(Unit) applies to unitary statements")
-        embedded = register.embed(program.matrix, program.qubits)
-        expected = post.conjugate_by(embedded)
+        if lifting == "local":
+            channel = LocalSuperOperator.from_unitary(
+                program.matrix, register.positions(program.qubits), register.num_qubits
+            )
+            expected = post.apply_superoperator_adjoint(channel)
+        else:
+            embedded = register.embed(program.matrix, program.qubits)
+            expected = post.conjugate_by(embedded)
         _require(_assertions_equal(pre, expected), "(Unit) precondition must be U†ΘU")
         return
 
@@ -150,10 +166,7 @@ def check_rule(
         _require(else_premise.program == program.else_branch, "(Meas) second premise is the else-branch")
         _require(_assertions_equal(then_premise.postcondition, post), "(Meas) then-branch postcondition mismatch")
         _require(_assertions_equal(else_premise.postcondition, post), "(Meas) else-branch postcondition mismatch")
-        p0, p1 = measurement_superoperators(program, register)
-        if backend == "transfer":
-            p0 = TransferSuperOperator.from_superoperator(p0)
-            p1 = TransferSuperOperator.from_superoperator(p1)
+        p0, p1 = measurement_pair(program, register, backend, lifting)
         expected = measured_sum(p0, else_premise.precondition, p1, then_premise.precondition)
         _require(_assertions_equal(pre, expected), "(Meas) conclusion precondition must be P⁰(Θ₀)+P¹(Θ₁)")
         return
@@ -163,10 +176,7 @@ def check_rule(
         _require(len(premises) == 1, "(While) needs the loop-body premise")
         body_premise = premises[0]
         _require(body_premise.program == program.body, "(While) premise must be about the loop body")
-        p0, p1 = measurement_superoperators(program, register)
-        if backend == "transfer":
-            p0 = TransferSuperOperator.from_superoperator(p0)
-            p1 = TransferSuperOperator.from_superoperator(p1)
+        p0, p1 = measurement_pair(program, register, backend, lifting)
         invariant = body_premise.precondition
         expected_body_post = measured_sum(p0, post, p1, invariant)
         _require(

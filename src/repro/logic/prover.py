@@ -23,13 +23,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from ..exceptions import InvariantError, VerificationError
+from ..exceptions import InvariantError, SemanticsError, VerificationError
 from ..language.ast import Abort, If, Init, NDet, Program, Seq, Skip, Unitary, While
 from ..predicates.assertion import QuantumAssertion, measured_sum
 from ..predicates.order import OrderCheckResult, leq_inf
 from ..registers import QubitRegister
-from ..semantics.denotational import measurement_superoperators
-from ..superop.kraus import SuperOperator
+from ..semantics.denotational import (
+    BACKENDS,
+    _check_lifting,
+    initializer_channel,
+    measurement_pair,
+)
+from ..superop.local import LocalSuperOperator
 from .formula import CorrectnessFormula, CorrectnessMode
 from .proof import AnnotatedStatement, ProofOutline
 from .ranking import check_ranking, synthesize_ranking
@@ -39,11 +44,37 @@ __all__ = ["ProverOptions", "VerificationReport", "Prover", "assign_invariants",
 
 @dataclass
 class ProverOptions:
-    """Numerical options of the prover."""
+    """Numerical and representation options of the prover.
+
+    Attributes
+    ----------
+    epsilon:
+        Precision of the ``⊑_inf`` order decision procedure.
+    ranking_truncation:
+        Truncation length of synthesised ranking sequences (total correctness).
+    check_rankings:
+        Whether total-correctness loops must pass the ranking check.
+    backend:
+        Super-operator representation used when rules apply channels to
+        assertions: ``"kraus"`` (default) or ``"transfer"``.
+    lifting:
+        ``"dense"`` (default) or ``"local"`` — whether channels are eagerly
+        promoted to the full register or applied by contracting only their
+        tensor factors (see :mod:`repro.superop.local`).
+    """
 
     epsilon: float = 1e-6
     ranking_truncation: int = 64
     check_rankings: bool = True
+    backend: str = "kraus"
+    lifting: str = "dense"
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise SemanticsError(
+                f"unknown semantics backend {self.backend!r}; expected one of {BACKENDS}"
+            )
+        _check_lifting(self.lifting)
 
 
 @dataclass
@@ -158,13 +189,21 @@ class Prover:
         return AnnotatedStatement(program, pre, post, rule=rule)
 
     def _annotate_init(self, program: Init, post: QuantumAssertion) -> AnnotatedStatement:
-        channel = SuperOperator.initializer(len(program.qubits)).embed(program.qubits, self.register)
+        channel = initializer_channel(
+            program.qubits, self.register, self.options.backend, self.options.lifting
+        )
         pre = post.apply_superoperator_adjoint(channel)
         return AnnotatedStatement(program, pre, post, rule="Init")
 
     def _annotate_unitary(self, program: Unitary, post: QuantumAssertion) -> AnnotatedStatement:
-        embedded = self.register.embed(program.matrix, program.qubits)
-        pre = post.conjugate_by(embedded)
+        if self.options.lifting == "local":
+            channel = LocalSuperOperator.from_unitary(
+                program.matrix, self.register.positions(program.qubits), self.register.num_qubits
+            )
+            pre = post.apply_superoperator_adjoint(channel)
+        else:
+            embedded = self.register.embed(program.matrix, program.qubits)
+            pre = post.conjugate_by(embedded)
         return AnnotatedStatement(program, pre, post, rule="Unit")
 
     def _annotate_seq(self, program: Seq, post: QuantumAssertion) -> AnnotatedStatement:
@@ -185,8 +224,20 @@ class Prover:
         assert pre is not None
         return AnnotatedStatement(program, pre, post, rule="NDet", children=children)
 
+    def _semantics_options(self):
+        """Return :class:`DenotationOptions` matching the prover's representation choices."""
+        from ..semantics.denotational import DenotationOptions
+
+        return DenotationOptions(backend=self.options.backend, lifting=self.options.lifting)
+
+    def _measurement_pair(self, program):
+        """Build ``(P⁰, P¹)`` in the representation requested by the options."""
+        return measurement_pair(
+            program, self.register, self.options.backend, self.options.lifting
+        )
+
     def _annotate_if(self, program: If, post: QuantumAssertion) -> AnnotatedStatement:
-        p0, p1 = measurement_superoperators(program, self.register)
+        p0, p1 = self._measurement_pair(program)
         then_child = self._annotate(program.then_branch, post)
         else_child = self._annotate(program.else_branch, post)
         if post.is_singleton():
@@ -229,7 +280,7 @@ class Prover:
             )
             if invariant.dimension != self.register.dimension:
                 raise InvariantError("loop invariant dimension does not match the register")
-        p0, p1 = measurement_superoperators(program, self.register)
+        p0, p1 = self._measurement_pair(program)
         loop_condition = measured_sum(p0, post, p1, invariant)
         body_child = self._annotate(program.body, loop_condition)
         premise_check = leq_inf(invariant, body_child.precondition, epsilon=self.options.epsilon)
@@ -245,8 +296,12 @@ class Prover:
         if self.mode is CorrectnessMode.TOTAL:
             rule = "WhileT"
             if self.options.check_rankings:
+                semantics_options = self._semantics_options()
                 ranking = synthesize_ranking(
-                    program, self.register, truncation=self.options.ranking_truncation
+                    program,
+                    self.register,
+                    truncation=self.options.ranking_truncation,
+                    options=semantics_options,
                 )
                 check_ranking(
                     program,
@@ -254,6 +309,7 @@ class Prover:
                     loop_condition,
                     self.register,
                     epsilon=self.options.epsilon,
+                    options=semantics_options,
                 )
                 self.messages.append(
                     f"ranking assertion synthesised (residual {ranking.residual:.2e})"

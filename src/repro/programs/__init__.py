@@ -1,16 +1,24 @@
 """Library of case-study and benchmark programs (S12).
 
-* :mod:`repro.programs.errcorr`   — three-qubit bit-flip code (Sec. 5.1);
+* :mod:`repro.programs.errcorr`   — bit-flip repetition code, scalable via
+  ``num_data_qubits`` (Sec. 5.1 at the default size 3);
 * :mod:`repro.programs.deutsch`   — Deutsch's algorithm (Sec. 5.2);
-* :mod:`repro.programs.qwalk`     — nondeterministic quantum walk (Sec. 5.3);
-* :mod:`repro.programs.grover`    — n-qubit Grover, the performance workload (Sec. 6);
+* :mod:`repro.programs.qwalk`     — nondeterministic quantum walk, scalable via
+  ``num_positions`` (Sec. 5.3 at the default 4 vertices);
+* :mod:`repro.programs.grover`    — n-qubit Grover, the performance workload
+  (Sec. 6), with a gate-local ``layout="gates"`` circuit variant;
 * :mod:`repro.programs.teleport`  — teleportation (extension);
 * :mod:`repro.programs.phaseflip` — three-qubit phase-flip code (extension);
 * :mod:`repro.programs.rus`       — repeat-until-success loops for total correctness (extension).
+
+The three scalable families (``errcorr_formula(num_data_qubits=…)``,
+``qwalk_formula(num_positions=…)``, ``grover_formula(n, layout=…)``) are the
+workloads of the unified scaling benchmark ``benchmarks/bench_scaling.py``.
 """
 
 from .deutsch import deutsch_formula, deutsch_postcondition, deutsch_program, deutsch_register, oracle_unitary
 from .errcorr import (
+    ancilla_names,
     encoded_state_predicate,
     errcorr_formula,
     errcorr_program,
@@ -34,6 +42,7 @@ from .qwalk import (
     qwalk_invariant,
     qwalk_measurement,
     qwalk_program,
+    qwalk_qubit_names,
     qwalk_register,
 )
 from .rus import (

@@ -75,15 +75,47 @@ def grover_success_probability(num_qubits: int, iterations: int | None = None) -
     return float(np.sin((2 * iterations + 1) * theta) ** 2)
 
 
-def grover_program(num_qubits: int, marked: int = 0, iterations: int | None = None) -> Program:
-    """Return the Grover program: initialise, Hadamard, then ``iterations`` rounds."""
+def grover_program(
+    num_qubits: int,
+    marked: int = 0,
+    iterations: int | None = None,
+    layout: str = "fused",
+) -> Program:
+    """Return the Grover program: initialise, Hadamard, then ``iterations`` rounds.
+
+    ``layout`` selects the circuit granularity (both layouts denote the same
+    unitary, hence the same correctness formula):
+
+    * ``"fused"`` (default) — the paper's presentation: ``H^{⊗n}``, the oracle
+      and the diffusion operator are each one full-register unitary statement.
+    * ``"gates"`` — the Hadamard layers are emitted as ``n`` single-qubit
+      statements and the diffusion is decomposed as
+      ``H-layer · (2|0…0⟩⟨0…0| − I) · H-layer``; only the oracle and the zero
+      reflection stay global.  This is the realistic, gate-local circuit that
+      the ``lifting="local"`` semantics mode exploits.
+    """
+    if layout not in ("fused", "gates"):
+        raise ValueError(f"unknown Grover layout {layout!r}; expected 'fused' or 'gates'")
     qubits = grover_qubit_names(num_qubits)
     iterations = grover_iterations(num_qubits) if iterations is None else iterations
-    hadamard_all = kron_all([H] * num_qubits)
     oracle = oracle_matrix(num_qubits, marked)
-    diffusion = diffusion_matrix(num_qubits)
 
-    statements: List[Program] = [Init(qubits), Unitary(qubits, "Hn", hadamard_all)]
+    if layout == "gates":
+        hadamard_layer = [Unitary((name,), "H", H) for name in qubits]
+        # 2|0⟩⟨0| − I = −(I − 2|0⟩⟨0|); keeping the sign makes the
+        # decomposition equal to diffusion_matrix exactly (not just up to phase).
+        reflect_zero = -oracle_matrix(num_qubits, 0)
+        statements: List[Program] = [Init(qubits), *hadamard_layer]
+        for _ in range(iterations):
+            statements.append(Unitary(qubits, "Oracle", oracle))
+            statements.extend(Unitary((name,), "H", H) for name in qubits)
+            statements.append(Unitary(qubits, "Reflect0", reflect_zero))
+            statements.extend(Unitary((name,), "H", H) for name in qubits)
+        return seq(*statements)
+
+    hadamard_all = kron_all([H] * num_qubits)
+    diffusion = diffusion_matrix(num_qubits)
+    statements = [Init(qubits), Unitary(qubits, "Hn", hadamard_all)]
     for _ in range(iterations):
         statements.append(Unitary(qubits, "Oracle", oracle))
         statements.append(Unitary(qubits, "Diffusion", diffusion))
@@ -91,13 +123,18 @@ def grover_program(num_qubits: int, marked: int = 0, iterations: int | None = No
 
 
 def grover_formula(
-    num_qubits: int, marked: int = 0, iterations: int | None = None
+    num_qubits: int,
+    marked: int = 0,
+    iterations: int | None = None,
+    layout: str = "fused",
 ) -> Tuple[CorrectnessFormula, QubitRegister]:
     """Return ``{p·I} Grover {[t]}`` where ``p`` is the exact success probability.
 
     The formula is valid in the total-correctness sense: from any input of
     trace one the final state hits the marked element with probability exactly
     ``p``, so ``p·I`` is (numerically) the weakest precondition of ``[t]``.
+    ``layout`` selects the circuit granularity of the program (see
+    :func:`grover_program`); the formula is identical either way.
     """
     register = grover_register(num_qubits)
     iterations = grover_iterations(num_qubits) if iterations is None else iterations
@@ -112,7 +149,7 @@ def grover_formula(
     postcondition = QuantumAssertion([QuantumPredicate(target, name="target")], name="target")
     formula = CorrectnessFormula(
         precondition,
-        grover_program(num_qubits, marked, iterations),
+        grover_program(num_qubits, marked, iterations, layout=layout),
         postcondition,
         CorrectnessMode.TOTAL,
     )

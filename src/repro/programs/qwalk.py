@@ -1,24 +1,37 @@
-"""The nondeterministic quantum walk of Sec. 5.3.
+"""The nondeterministic quantum walk of Sec. 5.3, plus a scalable family.
 
-A walker on a four-vertex circle is driven by two unitary walk operators
-``W1``/``W2`` applied in an order chosen nondeterministically at every step; an
-absorbing boundary at ``|10⟩`` terminates the walk.  The paper proves the
-strong non-termination property (Eq. (15)): under *every* scheduler the walk
-never terminates, expressed as the partial-correctness formula
+The paper's instance: a walker on a four-vertex circle is driven by two
+unitary walk operators ``W1``/``W2`` applied in an order chosen
+nondeterministically at every step; an absorbing boundary at ``|10⟩``
+terminates the walk.  The paper proves the strong non-termination property
+(Eq. (15)): under *every* scheduler the walk never terminates, expressed as
+the partial-correctness formula
 
     ⊨_par { I }  QWalk  { 0 }
 
 with the loop invariant ``N = [|00⟩] + [(|01⟩ + |11⟩)/√2]``.
+
+``num_positions`` scales the walk beyond the paper's four vertices: for
+``num_positions = 2^m > 4`` the walker lives on the ``m``-dimensional
+hypercube and the two walk operators become *layers of single-qubit gates* —
+``W1 = X^{⊗m}`` (hop to the antipodal vertex) and ``W2 = Z^{⊗m}`` (a phase
+kick).  The nondeterministic body ``(W1; W2) □ (W2; W1)`` bounces the walker
+between ``|0…0⟩`` and ``|1…1⟩`` under every scheduler, the absorbing vertex
+``|10…0⟩`` is never reached, and the two-dimensional invariant
+``[|0…0⟩] + [|1…1⟩]`` certifies non-termination — the same shape of argument
+as the paper's, but with a program whose every unitary is one-qubit local
+(the scalable-walk workload of ``benchmarks/bench_scaling.py``).
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import List, Tuple
 
 import numpy as np
 
+from ..exceptions import SemanticsError
 from ..language.ast import Init, Measurement, Program, Unitary, While, ndet, seq
-from ..linalg.constants import W1, W2
+from ..linalg.constants import W1, W2, X, Z
 from ..linalg.operators import outer
 from ..logic.formula import CorrectnessFormula, CorrectnessMode
 from ..predicates.assertion import QuantumAssertion
@@ -27,6 +40,7 @@ from ..registers import QubitRegister
 
 __all__ = [
     "qwalk_register",
+    "qwalk_qubit_names",
     "qwalk_measurement",
     "qwalk_body",
     "qwalk_program",
@@ -36,60 +50,110 @@ __all__ = [
 ]
 
 
-def qwalk_register() -> QubitRegister:
-    """Return the two-qubit register ``(q1, q2)`` of the walk."""
-    return QubitRegister(("q1", "q2"))
+def _num_walk_qubits(num_positions: int) -> int:
+    """Return ``m`` with ``2^m = num_positions``, validating the family parameter."""
+    m = int(round(np.log2(num_positions)))
+    if 2 ** m != num_positions or num_positions < 4:
+        raise SemanticsError(
+            f"num_positions must be a power of two ≥ 4, got {num_positions}"
+        )
+    return m
 
 
-def qwalk_measurement() -> Measurement:
-    """Return the absorbing-boundary measurement ``{|10⟩⟨10|, I − |10⟩⟨10|}``."""
-    p0 = np.zeros((4, 4), dtype=complex)
-    p0[2, 2] = 1.0
-    p1 = np.eye(4, dtype=complex) - p0
+def qwalk_qubit_names(num_positions: int = 4) -> Tuple[str, ...]:
+    """Return the walker qubit names ``q1 … qm`` for ``2^m`` positions."""
+    return tuple(f"q{index}" for index in range(1, _num_walk_qubits(num_positions) + 1))
+
+
+def qwalk_register(num_positions: int = 4) -> QubitRegister:
+    """Return the walker register (default: the paper's two-qubit ``(q1, q2)``)."""
+    return QubitRegister(qwalk_qubit_names(num_positions))
+
+
+def qwalk_measurement(num_positions: int = 4) -> Measurement:
+    """Return the absorbing-boundary measurement ``{|10…0⟩⟨10…0|, I − |10…0⟩⟨10…0|}``."""
+    m = _num_walk_qubits(num_positions)
+    dimension = 2 ** m
+    absorbing = dimension // 2  # basis index of |10…0⟩
+    p0 = np.zeros((dimension, dimension), dtype=complex)
+    p0[absorbing, absorbing] = 1.0
+    p1 = np.eye(dimension, dtype=complex) - p0
     return Measurement("MQWalk", p0, p1)
 
 
-def qwalk_body() -> Program:
-    """Return the loop body: ``(W1; W2) □ (W2; W1)`` on the walker register."""
-    qubits = ("q1", "q2")
-    first = seq(Unitary(qubits, "W1", W1), Unitary(qubits, "W2", W2))
-    second = seq(Unitary(qubits, "W2", W2), Unitary(qubits, "W1", W1))
-    return ndet(first, second)
+def _walk_layers(num_positions: int) -> Tuple[List[Program], List[Program]]:
+    """Return the two walk layers of the hypercube family as single-qubit gates."""
+    qubits = qwalk_qubit_names(num_positions)
+    hop = [Unitary((name,), "X", X) for name in qubits]
+    kick = [Unitary((name,), "Z", Z) for name in qubits]
+    return hop, kick
 
 
-def qwalk_program() -> Program:
-    """Return the full ``QWalk`` program of Sec. 5.3."""
+def qwalk_body(num_positions: int = 4) -> Program:
+    """Return the loop body ``(W1; W2) □ (W2; W1)`` on the walker register.
+
+    For the default four positions ``W1``/``W2`` are the paper's dense 4×4
+    walk operators; for larger instances they are the single-qubit hop/kick
+    layers of the hypercube family.
+    """
+    if num_positions == 4:
+        qubits = qwalk_qubit_names(4)
+        first = seq(Unitary(qubits, "W1", W1), Unitary(qubits, "W2", W2))
+        second = seq(Unitary(qubits, "W2", W2), Unitary(qubits, "W1", W1))
+        return ndet(first, second)
+    hop, kick = _walk_layers(num_positions)
+    return ndet(seq(*hop, *kick), seq(*kick, *hop))
+
+
+def qwalk_program(num_positions: int = 4) -> Program:
+    """Return the full ``QWalk`` program (default: Sec. 5.3's four-vertex walk)."""
+    qubits = qwalk_qubit_names(num_positions)
     return seq(
-        Init(("q1", "q2")),
-        While(qwalk_measurement(), ("q1", "q2"), qwalk_body()),
+        Init(qubits),
+        While(qwalk_measurement(num_positions), qubits, qwalk_body(num_positions)),
     )
 
 
-def qwalk_invariant() -> QuantumAssertion:
-    """Return the loop invariant ``N = [|00⟩] + [(|01⟩ + |11⟩)/√2]`` of Sec. 5.3."""
-    e00 = np.zeros((4, 1), dtype=complex)
-    e00[0, 0] = 1.0
-    superposition = np.zeros((4, 1), dtype=complex)
-    superposition[1, 0] = 1.0 / np.sqrt(2)
-    superposition[3, 0] = 1.0 / np.sqrt(2)
-    matrix = outer(e00) + outer(superposition)
+def qwalk_invariant(num_positions: int = 4) -> QuantumAssertion:
+    """Return the non-termination loop invariant of the walk.
+
+    For four positions this is the paper's ``N = [|00⟩] + [(|01⟩ + |11⟩)/√2]``
+    (Sec. 5.3); for the hypercube family it is ``[|0…0⟩] + [|1…1⟩]`` — the
+    two vertices the walker alternates between, both orthogonal to the
+    absorbing boundary.
+    """
+    if num_positions == 4:
+        e00 = np.zeros((4, 1), dtype=complex)
+        e00[0, 0] = 1.0
+        superposition = np.zeros((4, 1), dtype=complex)
+        superposition[1, 0] = 1.0 / np.sqrt(2)
+        superposition[3, 0] = 1.0 / np.sqrt(2)
+        matrix = outer(e00) + outer(superposition)
+        return QuantumAssertion([QuantumPredicate(matrix, name="invN")], name="invN")
+    dimension = num_positions
+    _num_walk_qubits(num_positions)
+    lowest = np.zeros((dimension, 1), dtype=complex)
+    lowest[0, 0] = 1.0
+    highest = np.zeros((dimension, 1), dtype=complex)
+    highest[dimension - 1, 0] = 1.0
+    matrix = outer(lowest) + outer(highest)
     return QuantumAssertion([QuantumPredicate(matrix, name="invN")], name="invN")
 
 
-def invalid_invariant() -> QuantumAssertion:
+def invalid_invariant(num_positions: int = 4) -> QuantumAssertion:
     """Return the invalid invariant ``P0[q1]`` used in Sec. 6.2 to trigger an error."""
-    register = qwalk_register()
+    register = qwalk_register(num_positions)
     p0 = np.array([[1, 0], [0, 0]], dtype=complex)
     predicate = QuantumPredicate(p0, name="P0").embed(("q1",), register)
     return QuantumAssertion([predicate], name="P0")
 
 
-def qwalk_formula() -> Tuple[CorrectnessFormula, QubitRegister]:
+def qwalk_formula(num_positions: int = 4) -> Tuple[CorrectnessFormula, QubitRegister]:
     """Return the non-termination formula of Eq. (15): ``⊨_par {I} QWalk {0}``."""
-    register = qwalk_register()
+    register = qwalk_register(num_positions)
     precondition = QuantumAssertion.identity(register.num_qubits)
     postcondition = QuantumAssertion.zero(register.num_qubits)
     formula = CorrectnessFormula(
-        precondition, qwalk_program(), postcondition, CorrectnessMode.PARTIAL
+        precondition, qwalk_program(num_positions), postcondition, CorrectnessMode.PARTIAL
     )
     return formula, register

@@ -32,11 +32,14 @@ def _denotations(
     second: Program,
     options: DenotationOptions | None,
     backend: str | None,
+    lifting: str | None = None,
 ) -> Tuple[list, list, QubitRegister]:
     register = common_register(first, second)
     options = options or DenotationOptions()
     if backend is not None and backend != options.backend:
         options = replace(options, backend=backend)
+    if lifting is not None and lifting != options.lifting:
+        options = replace(options, lifting=lifting)
     return (
         denotation(first, register, options),
         denotation(second, register, options),
@@ -50,15 +53,17 @@ def programs_equivalent(
     options: DenotationOptions | None = None,
     atol: float = 1e-6,
     backend: str | None = None,
+    lifting: str | None = None,
 ) -> bool:
     """Return ``True`` when ``[[first]] = [[second]]`` over the common register.
 
     Exact for loop-free programs; for loops the comparison is relative to the
     explored schedulers.  ``backend`` overrides the representation used for
-    both denotations (``"kraus"`` or ``"transfer"``); the set comparison
-    itself is representation-agnostic.
+    both denotations (``"kraus"`` or ``"transfer"``) and ``lifting`` the
+    promotion strategy (``"dense"`` or ``"local"``); the set comparison itself
+    is representation-agnostic.
     """
-    first_maps, second_maps, _ = _denotations(first, second, options, backend)
+    first_maps, second_maps, _ = _denotations(first, second, options, backend, lifting)
     return set_equal(first_maps, second_maps, atol=atol)
 
 
@@ -68,14 +73,16 @@ def program_refines(
     options: DenotationOptions | None = None,
     atol: float = 1e-6,
     backend: str | None = None,
+    lifting: str | None = None,
 ) -> bool:
     """Return ``True`` when every behaviour of ``implementation`` is allowed by ``specification``.
 
     In the lifted model this is denotation-set inclusion
     ``[[implementation]] ⊆ [[specification]]`` — the notion of refinement that
-    stepwise program development relies on.
+    stepwise program development relies on.  ``backend`` and ``lifting``
+    override the representation used for both denotations.
     """
     implementation_maps, specification_maps, _ = _denotations(
-        implementation, specification, options, backend
+        implementation, specification, options, backend, lifting
     )
     return set_subset(implementation_maps, specification_maps, atol=atol)

@@ -47,6 +47,7 @@ class ConstantScheduler(Scheduler):
         self.index = index
 
     def select(self, iteration: int, num_choices: int) -> int:
+        """Return the fixed branch index (validated against ``num_choices``)."""
         if self.index >= num_choices:
             raise SchedulerError(
                 f"constant scheduler index {self.index} out of range for {num_choices} choice(s)"
@@ -54,6 +55,7 @@ class ConstantScheduler(Scheduler):
         return self.index
 
     def describe(self) -> str:
+        """Return ``constant(i)``."""
         return f"constant({self.index})"
 
 
@@ -66,6 +68,7 @@ class CyclicScheduler(Scheduler):
         self.pattern = tuple(int(index) for index in pattern)
 
     def select(self, iteration: int, num_choices: int) -> int:
+        """Return the pattern entry of the (1-based) ``iteration``, cyclically."""
         index = self.pattern[(iteration - 1) % len(self.pattern)]
         if index >= num_choices:
             raise SchedulerError(
@@ -74,6 +77,7 @@ class CyclicScheduler(Scheduler):
         return index
 
     def describe(self) -> str:
+        """Return ``cyclic([...])`` with the pattern."""
         return f"cyclic({list(self.pattern)})"
 
 
@@ -85,12 +89,14 @@ class FunctionScheduler(Scheduler):
         self._description = description
 
     def select(self, iteration: int, num_choices: int) -> int:
+        """Return the delegate's choice, range-checked."""
         index = int(self._function(iteration, num_choices))
         if not 0 <= index < num_choices:
             raise SchedulerError(f"scheduler produced out-of-range index {index}")
         return index
 
     def describe(self) -> str:
+        """Return the description supplied at construction."""
         return self._description
 
 
@@ -107,6 +113,7 @@ class RandomScheduler(Scheduler):
         self._choices: dict[int, int] = {}
 
     def select(self, iteration: int, num_choices: int) -> int:
+        """Return the memoised pseudo-random choice for ``iteration``."""
         if iteration not in self._choices:
             self._choices[iteration] = int(self._rng.integers(0, num_choices))
         index = self._choices[iteration]
@@ -115,6 +122,7 @@ class RandomScheduler(Scheduler):
         return index
 
     def describe(self) -> str:
+        """Return ``random(seed=s)``."""
         return f"random(seed={self._seed})"
 
 

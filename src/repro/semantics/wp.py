@@ -25,12 +25,17 @@ import numpy as np
 
 from ..exceptions import SemanticsError
 from ..language.ast import Abort, If, Init, NDet, Program, Seq, Skip, Unitary, While
+from ..linalg.tensor import apply_local_conjugation
 from ..predicates.assertion import QuantumAssertion
 from ..predicates.predicate import QuantumPredicate, clip_to_predicate
 from ..registers import QubitRegister
-from ..superop.kraus import SuperOperator
-from ..superop.transfer import TransferSuperOperator
-from .denotational import BACKENDS, _loop_schedulers, measurement_superoperators
+from .denotational import (
+    BACKENDS,
+    _check_lifting,
+    _loop_schedulers,
+    initializer_channel,
+    measurement_superoperators,
+)
 from .schedulers import Scheduler
 
 __all__ = ["WpOptions", "weakest_precondition", "weakest_liberal_precondition"]
@@ -45,6 +50,11 @@ class WpOptions:
     ``"transfer"`` turns every adjoint application into a single
     conjugate-transpose matmul on the vectorised predicate (see
     :mod:`repro.superop.transfer`).
+
+    ``lifting`` selects how statements reach the register: ``"dense"``
+    materialises every cylinder extension, ``"local"`` conjugates predicates
+    by contracting only the statement's tensor factors (see
+    :mod:`repro.superop.local`).
     """
 
     max_iterations: int = 64
@@ -52,12 +62,14 @@ class WpOptions:
     sampled_schedulers: int = 2
     convergence_tolerance: float = 1e-9
     backend: str = "kraus"
+    lifting: str = "dense"
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
             raise SemanticsError(
                 f"unknown semantics backend {self.backend!r}; expected one of {BACKENDS}"
             )
+        _check_lifting(self.lifting)
 
 
 def weakest_precondition(
@@ -114,11 +126,19 @@ def _xp_single(
             return [QuantumPredicate.identity(register.num_qubits)]
         return [QuantumPredicate.zero(register.num_qubits)]
     if isinstance(program, Init):
-        channel = SuperOperator.initializer(len(program.qubits)).embed(program.qubits, register)
-        if options.backend == "transfer":
-            channel = TransferSuperOperator.from_superoperator(channel)
+        channel = initializer_channel(
+            program.qubits, register, options.backend, options.lifting
+        )
         return [post.apply_superoperator_adjoint(channel)]
     if isinstance(program, Unitary):
+        if options.lifting == "local":
+            # U†MU computed by contracting only the gate's tensor factors;
+            # unitary conjugation preserves 0 ⊑ M ⊑ I exactly, so no clipping.
+            positions = register.positions(program.qubits)
+            matrix = apply_local_conjugation(
+                np.conjugate(program.matrix).T, post.matrix, positions
+            )
+            return [QuantumPredicate(matrix, validate=False)]
         embedded = register.embed(program.matrix, program.qubits)
         return [post.conjugate_by(embedded)]
     if isinstance(program, Seq):
@@ -135,7 +155,7 @@ def _xp_single(
             result.extend(_xp_single(branch, post, register, options, liberal))
         return _dedup(result)
     if isinstance(program, If):
-        p0, p1 = measurement_superoperators(program, register)
+        p0, p1 = measurement_superoperators(program, register, lifting=options.lifting)
         else_parts = _xp_single(program.else_branch, post, register, options, liberal)
         then_parts = _xp_single(program.then_branch, post, register, options, liberal)
         combined: List[QuantumPredicate] = []
@@ -164,7 +184,7 @@ def _xp_while(
     ``f_k(A) = P⁰(M) + P¹(η_k†(A) + I − η_k†(I))`` for wlp,
     starting from ``M^·_0 = 0`` (wp) or ``I`` (wlp).
     """
-    p0, p1 = measurement_superoperators(program, register)
+    p0, p1 = measurement_superoperators(program, register, lifting=options.lifting)
     body_choices = _body_denotations(program, register, options)
     schedulers = _loop_schedulers(options, len(body_choices))
 
@@ -199,6 +219,7 @@ def _body_denotations(program: While, register: QubitRegister, options: WpOption
         schedulers=options.schedulers,
         sampled_schedulers=options.sampled_schedulers,
         backend=options.backend,
+        lifting=options.lifting,
     )
     return denotation(program.body, register, body_options)
 

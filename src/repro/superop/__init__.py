@@ -1,6 +1,6 @@
 """Super-operator substrate (S2): Kraus maps, Choi matrices, transfer matrices, channels and orderings.
 
-Three faithful representations of a completely positive map are provided:
+Four interoperable representations of a completely positive map are provided:
 
 * **Kraus** (:mod:`.kraus`) — a finite operator list ``{E_i}``; best for
   applying a small map to individual states.
@@ -8,12 +8,18 @@ Three faithful representations of a completely positive map are provided:
   best for order/positivity questions (Lemma 3.1) and for recovering minimal
   Kraus decompositions.
 * **Transfer/Liouville** (:mod:`.transfer`) — the ``d²×d²`` matrix acting on
-  vectorised states; best whenever maps are composed, iterated or compared,
-  since all of those become single dense matrix operations.
+  vectorised states; best whenever full-register maps are composed, iterated
+  or compared, since all of those become single dense matrix operations.
+* **Local** (:mod:`.local`) — ``(small Kraus operators, target factor
+  positions)`` with *deferred* cylinder extension; every product contracts
+  only the targeted tensor factors, which is the ``lifting="local"`` fast
+  path of the semantics engines for gate-local programs.
 
-Conversions between the three are lossless: Kraus→Choi is a sum of outer
-products, Choi↔transfer is a cheap index reshuffle, and Choi→Kraus is an
-eigendecomposition.
+Conversions between the dense three are lossless: Kraus→Choi is a sum of
+outer products, Choi↔transfer is a cheap index reshuffle, and Choi→Kraus is
+an eigendecomposition; a local map densifies via
+:meth:`~repro.superop.local.LocalSuperOperator.to_superoperator` /
+:meth:`~repro.superop.local.LocalSuperOperator.to_transfer`.
 """
 
 from .channels import (
@@ -49,6 +55,7 @@ from .compare import (
     superoperator_precedes,
 )
 from .kraus import SuperOperator
+from .local import LocalSuperOperator
 from .transfer import (
     TransferSet,
     TransferSuperOperator,

@@ -27,7 +27,8 @@ import numpy as np
 
 from ..exceptions import DimensionMismatchError, SuperOperatorError
 from ..linalg.constants import ATOL
-from ..linalg.operators import dagger, is_positive, is_unitary, loewner_le, num_qubits_of
+from ..linalg.operators import dagger, is_positive, is_unitary, kraus_gram, loewner_le, num_qubits_of
+from ..linalg.tensor import apply_local_right
 from .choi import choi_matrix
 
 __all__ = ["SuperOperator"]
@@ -139,10 +140,7 @@ class SuperOperator:
 
     def kraus_gram(self) -> np.ndarray:
         """Return ``Σ_i E_i† E_i`` — equals ``I`` exactly for trace-preserving maps."""
-        gram = np.zeros((self._dimension, self._dimension), dtype=complex)
-        for operator in self._kraus:
-            gram = gram + dagger(operator) @ operator
-        return gram
+        return kraus_gram(self._kraus)
 
     def is_trace_preserving(self, atol: float = ATOL) -> bool:
         """Return ``True`` when ``Σ E_i†E_i = I`` up to ``atol``."""
@@ -199,8 +197,23 @@ class SuperOperator:
         return SuperOperator([dagger(operator) for operator in self._kraus], validate=False)
 
     # ------------------------------------------------------------------ algebra
-    def compose(self, other: "SuperOperator") -> "SuperOperator":
-        """Return ``self ∘ other`` (first ``other``, then ``self``)."""
+    def compose(self, other) -> "SuperOperator":
+        """Return ``self ∘ other`` (first ``other``, then ``self``).
+
+        A :class:`~repro.superop.local.LocalSuperOperator` operand is composed
+        by contracting only its targeted tensor factors (no dense embedding is
+        built); the result is a Kraus-form map either way.
+        """
+        from .local import LocalSuperOperator  # deferred: local builds on kraus
+
+        if isinstance(other, LocalSuperOperator):
+            self._check_dimension(other)
+            stack = np.stack(self._kraus)
+            kraus: List[np.ndarray] = []
+            for small in other.small_kraus:
+                # E ∘ embed(s): right-multiply every Kraus operator locally.
+                kraus.extend(apply_local_right(stack, small, other.positions))
+            return SuperOperator(kraus, validate=False)
         self._check_dimension(other)
         kraus = [a @ b for a in self._kraus for b in other._kraus]
         return SuperOperator(kraus, validate=False)
@@ -212,7 +225,15 @@ class SuperOperator:
     def __matmul__(self, other: "SuperOperator") -> "SuperOperator":
         return self.compose(other)
 
-    def __add__(self, other: "SuperOperator") -> "SuperOperator":
+    def __add__(self, other) -> "SuperOperator":
+        """Return the pointwise sum (Kraus lists concatenated)."""
+        from .local import LocalSuperOperator  # deferred: local builds on kraus
+
+        if isinstance(other, LocalSuperOperator):
+            self._check_dimension(other)
+            return SuperOperator(
+                list(self._kraus) + other.embedded_kraus(), validate=False
+            )
         self._check_dimension(other)
         return SuperOperator(self._kraus + other._kraus, validate=False)
 
@@ -296,10 +317,10 @@ class SuperOperator:
         eigenvalues = np.linalg.eigvalsh(self.kraus_gram())
         return float(max(eigenvalues.max(), 0.0))
 
-    def _check_dimension(self, other: "SuperOperator") -> None:
-        if self._dimension != other._dimension:
+    def _check_dimension(self, other) -> None:
+        if self._dimension != other.dimension:
             raise DimensionMismatchError(
-                f"super-operators act on different dimensions: {self._dimension} vs {other._dimension}"
+                f"super-operators act on different dimensions: {self._dimension} vs {other.dimension}"
             )
 
     def __repr__(self) -> str:

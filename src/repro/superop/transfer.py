@@ -38,6 +38,7 @@ import numpy as np
 from ..exceptions import DimensionMismatchError, SuperOperatorError
 from ..linalg.constants import ATOL
 from ..linalg.operators import dagger, is_positive
+from ..linalg.tensor import apply_local_left, apply_local_right
 from .choi import is_tni_choi, kraus_from_choi
 from .kraus import SuperOperator
 
@@ -240,8 +241,21 @@ class TransferSuperOperator:
         return TransferSuperOperator(dagger(self._matrix), validate=False)
 
     # ------------------------------------------------------------------ algebra
-    def compose(self, other: "TransferSuperOperator") -> "TransferSuperOperator":
-        """Return ``self ∘ other`` (first ``other``, then ``self``) — one matmul."""
+    def compose(self, other) -> "TransferSuperOperator":
+        """Return ``self ∘ other`` (first ``other``, then ``self``) — one matmul.
+
+        A :class:`~repro.superop.local.LocalSuperOperator` operand contributes
+        its small ``4^k × 4^k`` transfer matrix through a local contraction of
+        the column factors instead of a dense ``4^n`` product.
+        """
+        from .local import LocalSuperOperator  # deferred: local builds on transfer
+
+        if isinstance(other, LocalSuperOperator):
+            self._check_dimension(other)
+            matrix = apply_local_right(
+                self._matrix, other.small_transfer(), other.transfer_positions()
+            )
+            return TransferSuperOperator(matrix, validate=False)
         self._check_dimension(other)
         return TransferSuperOperator(self._matrix @ other._matrix, validate=False)
 
@@ -252,7 +266,15 @@ class TransferSuperOperator:
     def __matmul__(self, other: "TransferSuperOperator") -> "TransferSuperOperator":
         return self.compose(other)
 
-    def __add__(self, other: "TransferSuperOperator") -> "TransferSuperOperator":
+    def __add__(self, other) -> "TransferSuperOperator":
+        """Return the pointwise sum (transfer matrices added entrywise)."""
+        from .local import LocalSuperOperator  # deferred: local builds on transfer
+
+        if isinstance(other, LocalSuperOperator):
+            self._check_dimension(other)
+            return TransferSuperOperator(
+                self._matrix + other.to_transfer().matrix, validate=False
+            )
         self._check_dimension(other)
         return TransferSuperOperator(self._matrix + other._matrix, validate=False)
 
@@ -333,11 +355,15 @@ class TransferSuperOperator:
 
 
 def _transfer_of(channel) -> np.ndarray | None:
-    """Return the transfer matrix of either representation (``None`` if foreign)."""
+    """Return the transfer matrix of any representation (``None`` if foreign)."""
+    from .local import LocalSuperOperator  # deferred: local builds on transfer
+
     if isinstance(channel, TransferSuperOperator):
         return channel.matrix
     if isinstance(channel, SuperOperator):
         return transfer_matrix(channel.kraus_operators)
+    if isinstance(channel, LocalSuperOperator):
+        return transfer_matrix(channel.embedded_kraus())
     return None
 
 
@@ -378,12 +404,14 @@ class TransferSet:
     # ------------------------------------------------------------ constructors
     @classmethod
     def from_operators(cls, operators: Sequence[TransferSuperOperator]) -> "TransferSet":
+        """Stack a non-empty list of :class:`TransferSuperOperator` into one set."""
         if not operators:
             raise SuperOperatorError("a transfer set needs at least one element")
         return cls(np.stack([operator.matrix for operator in operators]))
 
     @classmethod
     def singleton(cls, operator: TransferSuperOperator) -> "TransferSet":
+        """Return the one-element set holding ``operator``."""
         return cls(operator.matrix[np.newaxis, :, :])
 
     # ------------------------------------------------------------- accessors
@@ -394,6 +422,7 @@ class TransferSet:
 
     @property
     def dimension(self) -> int:
+        """Dimension of the underlying Hilbert space."""
         return self._dimension
 
     def __len__(self) -> int:
@@ -432,6 +461,25 @@ class TransferSet:
     def after_each(self, earlier: TransferSuperOperator) -> "TransferSet":
         """Return ``{F ∘ earlier : F ∈ self}`` — one batched matmul."""
         return TransferSet(np.einsum("aij,jk->aik", self._stack, earlier.matrix))
+
+    def then_each_local(
+        self, small_transfer: np.ndarray, positions: Sequence[int]
+    ) -> "TransferSet":
+        """Return ``{L ∘ F : F ∈ self}`` for a local map ``L``.
+
+        ``small_transfer`` is the ``4^k × 4^k`` transfer matrix of a ``k``-local
+        map and ``positions`` its factor positions inside the ``4^n`` transfer
+        space (see :meth:`repro.superop.local.LocalSuperOperator.transfer_positions`);
+        the whole stack is updated by one local contraction of the row factors
+        instead of ``n`` dense ``4^n`` matrix products.
+        """
+        return TransferSet(apply_local_left(small_transfer, self._stack, positions))
+
+    def after_each_local(
+        self, small_transfer: np.ndarray, positions: Sequence[int]
+    ) -> "TransferSet":
+        """Return ``{F ∘ L : F ∈ self}`` for a local map ``L`` (column contraction)."""
+        return TransferSet(apply_local_right(self._stack, small_transfer, positions))
 
     def branch_sum_pairwise(self, other: "TransferSet") -> "TransferSet":
         """Return ``{F + G : F ∈ self, G ∈ other}`` via broadcasting.

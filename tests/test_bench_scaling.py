@@ -1,0 +1,47 @@
+"""Smoke test of the unified scaling benchmark harness.
+
+Runs ``benchmarks/bench_scaling.py`` in ``--smoke`` mode against a temporary
+output path: the sweep must succeed, every backend × lifting combination must
+agree with the reference semantics, and the emitted JSON must follow the
+``BENCH_scaling.json`` schema documented in the README.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+import bench_scaling  # noqa: E402  (needs the benchmarks/ path above)
+
+
+def test_smoke_sweep_writes_schema_conformant_json(tmp_path):
+    out = tmp_path / "BENCH_scaling.json"
+    exit_code = bench_scaling.main(["--smoke", "--out", str(out)])
+    assert exit_code == 0
+
+    payload = json.loads(out.read_text())
+    assert payload["benchmark"] == "bench_scaling"
+    assert payload["smoke"] is True
+    assert payload["passed"] is True
+    assert isinstance(payload["claims"], dict)
+
+    results = payload["results"]
+    expected_cells = sum(len(sizes) for sizes in bench_scaling.SMOKE_SIZES.values()) * 4
+    assert len(results) == expected_cells
+    for entry in results:
+        assert entry["agrees_with_reference"] is True
+        assert entry["backend"] in ("kraus", "transfer")
+        assert entry["lifting"] in ("dense", "local")
+        assert entry["seconds"] >= 0.0
+        assert entry["num_qubits"] >= 2
+
+
+def test_headline_claims_indexing():
+    results = [
+        {"workload": "grover", "size": 4, "backend": "transfer", "lifting": "dense", "seconds": 1.0},
+        {"workload": "grover", "size": 4, "backend": "transfer", "lifting": "local", "seconds": 0.25},
+    ]
+    claims = bench_scaling.headline_claims(results)
+    assert claims == {"grover4_transfer_local_speedup": 4.0}
