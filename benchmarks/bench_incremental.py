@@ -1,0 +1,219 @@
+"""Experiment E13 — incremental re-verification throughput on an edit stream.
+
+The canonical-identity layer (:mod:`repro.hashing`) keys every denotation,
+wp/wlp and per-subterm prover annotation by content digests in the
+process-wide :class:`~repro.cache.ResultCache`.  This benchmark measures what
+that buys on the workload the cache was built for: a synthetic *edit stream*
+over the 3-qubit gate-level Grover family.
+
+Each "edit" prepends a short self-inverse gate prelude (``X·X``, ``Z·Z``,
+``H·H`` pairs on ``q0``) to ``grover_program(3, layout="gates")`` — the
+overall unitary, and hence the correctness formula, is unchanged, but the
+program digest differs, exactly like touching the first lines of a source
+file.  The stream cycles the variants over several rounds and verifies every
+member with :func:`repro.logic.prover.verify_formula`:
+
+* **cold** — the result cache is cleared before every verification, so each
+  edit pays the full backward-pass cost (the pre-cache behaviour);
+* **warm** — the cache persists across the stream, so the unchanged tail of
+  every edited program (and, in later rounds, entire repeated variants) is
+  served from the prover/wp annotation caches.
+
+Recorded metric: verified programs per second per mode, plus the final
+``cache_stats()`` snapshot.  Headline claim (asserted in full mode, recorded
+in the JSON): warm throughput is ≥ 2x cold throughput.  Smoke mode asserts
+the weaker gate warm > cold so CI can run it cheaply per PR.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_incremental.py           # full
+    PYTHONPATH=src python benchmarks/bench_incremental.py --smoke   # CI-sized
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.cache import cache_stats, clear_result_cache
+from repro.language.ast import Program, Unitary, seq
+from repro.linalg.constants import H, X, Z
+from repro.logic.formula import CorrectnessFormula
+from repro.logic.prover import verify_formula
+from repro.programs.grover import grover_formula
+
+#: Required warm-vs-cold throughput ratio on the full edit stream.  Wall-clock
+#: ratios are noisy on shared CI runners, so the threshold can be relaxed via
+#: the environment (2.0 is the claim; quiet hardware measures far above it).
+MIN_WARM_SPEEDUP = float(os.environ.get("INCREMENTAL_BENCH_MIN_SPEEDUP", "2.0"))
+
+#: Self-inverse single-qubit preludes applied to ``q0``; each variant models
+#: one edit at the top of the program while the Grover tail stays unchanged.
+_PRELUDES: List[Tuple[str, List]] = [
+    ("base", []),
+    ("xx", [X, X]),
+    ("zz", [Z, Z]),
+    ("hh", [H, H]),
+]
+
+
+def build_edit_stream(num_qubits: int, variants: int, rounds: int) -> Tuple[
+    List[Tuple[str, CorrectnessFormula]], object
+]:
+    """Return the edit stream: ``rounds`` cycles over prelude variants.
+
+    Every member is the 3-qubit (by default) gate-level Grover correctness
+    formula with a different identity prelude prepended to the program; all
+    members are semantically valid, structurally distinct programs.
+    """
+    formula, register = grover_formula(num_qubits, layout="gates")
+    members: List[Tuple[str, CorrectnessFormula]] = []
+    for _ in range(rounds):
+        for name, gates in _PRELUDES[:variants]:
+            prelude: List[Program] = [
+                Unitary(("q0",), f"{name}{index}", gate)
+                for index, gate in enumerate(gates)
+            ]
+            edited = CorrectnessFormula(
+                formula.precondition,
+                seq(*prelude, formula.program),
+                formula.postcondition,
+                formula.mode,
+            )
+            members.append((name, edited))
+    return members, register
+
+
+def run_stream(
+    members: List[Tuple[str, CorrectnessFormula]], register, cold: bool
+) -> Tuple[float, int]:
+    """Verify every stream member; return ``(seconds, programs_verified)``.
+
+    ``cold`` clears the result cache before each verification so every edit
+    is re-verified from scratch; otherwise the cache persists across edits.
+    """
+    clear_result_cache()
+    start = time.perf_counter()
+    for name, formula in members:
+        if cold:
+            clear_result_cache()
+        report = verify_formula(formula, register)
+        if not report.verified:
+            raise AssertionError(f"edit-stream variant {name!r} failed to verify")
+    return time.perf_counter() - start, len(members)
+
+
+def run_benchmark(smoke: bool, repeats: int) -> Dict:
+    """Time the cold and warm edit streams and return the JSON payload."""
+    num_qubits = 3
+    variants = 2 if smoke else len(_PRELUDES)
+    rounds = 2 if smoke else 3
+    members, register = build_edit_stream(num_qubits, variants, rounds)
+
+    results: List[Dict] = []
+    final_stats: Dict = {}
+    for mode in ("cold", "warm"):
+        best = float("inf")
+        programs = 0
+        for _ in range(repeats):
+            seconds, programs = run_stream(members, register, cold=(mode == "cold"))
+            best = min(best, seconds)
+        if mode == "warm":
+            final_stats = cache_stats()
+        entry = {
+            "mode": mode,
+            "workload": f"grover{num_qubits}-gates edit stream",
+            "num_qubits": num_qubits,
+            "variants": variants,
+            "rounds": rounds,
+            "programs": programs,
+            "seconds": round(best, 6),
+            "programs_per_second": round(programs / max(best, 1e-12), 3),
+        }
+        results.append(entry)
+        print(
+            f"{mode:5s} {programs:3d} programs {best:8.3f} s "
+            f"{entry['programs_per_second']:8.2f} programs/s"
+        )
+
+    indexed = {entry["mode"]: entry["programs_per_second"] for entry in results}
+    claims = {
+        "warm_vs_cold_speedup": round(
+            indexed["warm"] / max(indexed["cold"], 1e-12), 2
+        )
+    }
+    return {
+        "benchmark": "bench_incremental",
+        "experiment": "E13",
+        "smoke": smoke,
+        "repeats": repeats,
+        "min_warm_speedup": MIN_WARM_SPEEDUP,
+        "results": results,
+        "claims": claims,
+        "cache_stats": final_stats,
+    }
+
+
+def check_payload(payload: Dict) -> List[str]:
+    """Return a list of failed-assertion messages (empty when all hold)."""
+    failures: List[str] = []
+    speedup = payload["claims"].get("warm_vs_cold_speedup")
+    if speedup is None:
+        failures.append("warm/cold throughputs were not measured")
+        return failures
+    if payload["smoke"]:
+        # CI gate: the warm stream must at least beat the cold stream.
+        if speedup <= 1.0:
+            failures.append(
+                f"warm edit-stream throughput must exceed cold, measured {speedup}x"
+            )
+    elif speedup < MIN_WARM_SPEEDUP:
+        failures.append(
+            f"expected warm >= {MIN_WARM_SPEEDUP:.1f}x cold edit-stream throughput "
+            f"on the 3-qubit Grover family, measured {speedup}x"
+        )
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        description="Incremental re-verification benchmark: cold vs warm edit stream."
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized stream (fewer variants/rounds, one timing repetition)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None, help="timing repetitions per mode"
+    )
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_incremental.json"),
+        help="output JSON path (default: BENCH_incremental.json at the repo root)",
+    )
+    arguments = parser.parse_args(argv)
+    repeats = arguments.repeats if arguments.repeats is not None else (1 if arguments.smoke else 3)
+
+    payload = run_benchmark(arguments.smoke, repeats)
+    failures = check_payload(payload)
+    payload["passed"] = not failures
+
+    out_path = Path(arguments.out)
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    for key, value in sorted(payload["claims"].items()):
+        print(f"claim {key}: {value}x")
+    for failure in failures:
+        print("FAIL:", failure, file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

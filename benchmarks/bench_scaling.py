@@ -40,6 +40,7 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.cache import RESULT_CACHE, clear_result_cache
 from repro.linalg.constants import ATOL
 from repro.programs.errcorr import errcorr_program, errcorr_register
 from repro.programs.grover import grover_program, grover_register
@@ -206,7 +207,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     arguments = parser.parse_args(argv)
     repeats = arguments.repeats if arguments.repeats is not None else (1 if arguments.smoke else 3)
 
-    payload = run_sweep(arguments.smoke, repeats)
+    # Time the raw engines: with the content-addressed result cache enabled,
+    # repeated timing runs would measure cache lookups instead (the cache's
+    # payoff has its own harness, benchmarks/bench_incremental.py).
+    RESULT_CACHE.configure(enabled=False)
+    clear_result_cache()
+    try:
+        payload = run_sweep(arguments.smoke, repeats)
+    finally:
+        RESULT_CACHE.configure(enabled=True)
+        clear_result_cache()
     failures = check_payload(payload)
     payload["passed"] = not failures
 

@@ -32,6 +32,7 @@ Quickstart
 True
 """
 
+from .cache import ResultCache, cache_stats, clear_result_cache, configure_result_cache
 from .exceptions import (
     AssistantError,
     InvalidProofError,
@@ -88,6 +89,7 @@ from .semantics import (
     weakest_precondition,
 )
 from .superop import SuperOperator
+from .hashing import assertion_digest, node_digest, predicate_digest, superop_digest
 from .assistant import Session, verify, verify_source
 
 __version__ = "1.0.0"
@@ -153,4 +155,13 @@ __all__ = [
     "Session",
     "verify",
     "verify_source",
+    # canonical identity + result cache
+    "ResultCache",
+    "cache_stats",
+    "clear_result_cache",
+    "configure_result_cache",
+    "node_digest",
+    "predicate_digest",
+    "assertion_digest",
+    "superop_digest",
 ]

@@ -1,0 +1,153 @@
+"""Process-wide bounded result cache keyed by canonical content digests.
+
+This is the memoization substrate of the verification-as-a-service spine: one
+:class:`ResultCache` instance (:data:`RESULT_CACHE`) shared by the whole
+process, keyed by the digests of :mod:`repro.hashing` and partitioned into
+named *regions* so hit/miss/eviction statistics can be read per consumer:
+
+* ``"denotation"`` — denotation sets of :func:`repro.semantics.denotational.denotation`;
+* ``"loop-prefix"`` — while-loop prefix chains shared across schedulers *and* calls;
+* ``"wp"`` — per-subterm wp/wlp transformer results of :mod:`repro.semantics.wp`;
+* ``"prover"`` — per-subterm proof annotations of :mod:`repro.logic.prover`.
+
+Keys are built from ``(node digest, options signature, postcondition digest)``
+tuples (plus the register signature); because digest equality soundly implies
+semantic equality (see :mod:`repro.hashing`), a cache hit can only substitute
+a value computed from inputs equal to the requested ones up to the digest
+quantization — i.e. results agree to the library tolerance ``ATOL``.
+
+The cache is a bounded LRU: insertions beyond ``maxsize`` evict the least
+recently used entry (eviction counted against the evictee's region).  All
+operations take an internal lock and are safe under free-threaded use.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+__all__ = [
+    "MISS",
+    "ResultCache",
+    "RESULT_CACHE",
+    "cache_stats",
+    "clear_result_cache",
+    "configure_result_cache",
+]
+
+#: Sentinel returned by :meth:`ResultCache.lookup` on a miss, so ``None`` can
+#: be cached as a legitimate value.
+MISS = object()
+
+#: Default capacity of the process-wide cache (entries, not bytes).
+DEFAULT_MAXSIZE = 4096
+
+
+class ResultCache:
+    """A bounded, thread-safe LRU cache with per-region counters.
+
+    Parameters
+    ----------
+    maxsize:
+        Maximum number of entries retained across all regions.
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_MAXSIZE):
+        self._data: "OrderedDict[Tuple[str, Hashable], Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._maxsize = int(maxsize)
+        self._enabled = True
+        self._hits: Dict[str, int] = {}
+        self._misses: Dict[str, int] = {}
+        self._evictions: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ access
+    def lookup(self, region: str, key: Hashable):
+        """Return the cached value for ``(region, key)`` or :data:`MISS`.
+
+        A ``key`` of ``None`` means "uncacheable" (e.g. explicit schedulers in
+        the options) and returns :data:`MISS` without touching the counters.
+        """
+        if key is None or not self._enabled:
+            return MISS
+        full_key = (region, key)
+        with self._lock:
+            if full_key in self._data:
+                self._data.move_to_end(full_key)
+                self._hits[region] = self._hits.get(region, 0) + 1
+                return self._data[full_key]
+            self._misses[region] = self._misses.get(region, 0) + 1
+            return MISS
+
+    def store(self, region: str, key: Hashable, value: Any) -> None:
+        """Insert ``value`` under ``(region, key)``, evicting LRU entries if full."""
+        if key is None or not self._enabled:
+            return
+        full_key = (region, key)
+        with self._lock:
+            self._data[full_key] = value
+            self._data.move_to_end(full_key)
+            while len(self._data) > self._maxsize:
+                evicted_key, _ = self._data.popitem(last=False)
+                evicted_region = evicted_key[0]
+                self._evictions[evicted_region] = self._evictions.get(evicted_region, 0) + 1
+
+    # -------------------------------------------------------------- management
+    def stats(self) -> Dict[str, Any]:
+        """Return a snapshot of size, capacity and per-region hit/miss/eviction counts."""
+        with self._lock:
+            regions = sorted(set(self._hits) | set(self._misses) | set(self._evictions))
+            return {
+                "size": len(self._data),
+                "maxsize": self._maxsize,
+                "enabled": self._enabled,
+                "regions": {
+                    region: {
+                        "hits": self._hits.get(region, 0),
+                        "misses": self._misses.get(region, 0),
+                        "evictions": self._evictions.get(region, 0),
+                    }
+                    for region in regions
+                },
+            }
+
+    def clear(self, reset_counters: bool = True) -> None:
+        """Drop every entry (and, by default, reset all counters)."""
+        with self._lock:
+            self._data.clear()
+            if reset_counters:
+                self._hits.clear()
+                self._misses.clear()
+                self._evictions.clear()
+
+    def configure(self, maxsize: Optional[int] = None, enabled: Optional[bool] = None) -> None:
+        """Adjust capacity and/or enablement; shrinking evicts LRU entries immediately."""
+        with self._lock:
+            if enabled is not None:
+                self._enabled = bool(enabled)
+            if maxsize is not None:
+                self._maxsize = int(maxsize)
+                while len(self._data) > self._maxsize:
+                    evicted_key, _ = self._data.popitem(last=False)
+                    evicted_region = evicted_key[0]
+                    self._evictions[evicted_region] = self._evictions.get(evicted_region, 0) + 1
+
+
+#: The process-wide cache instance every consumer module shares.
+RESULT_CACHE = ResultCache()
+
+
+def cache_stats() -> Dict[str, Any]:
+    """Return the statistics snapshot of the process-wide result cache."""
+    return RESULT_CACHE.stats()
+
+
+def clear_result_cache(reset_counters: bool = True) -> None:
+    """Empty the process-wide result cache (and by default its counters)."""
+    RESULT_CACHE.clear(reset_counters=reset_counters)
+
+
+def configure_result_cache(maxsize: Optional[int] = None, enabled: Optional[bool] = None) -> None:
+    """Reconfigure the process-wide result cache (capacity / on-off switch)."""
+    RESULT_CACHE.configure(maxsize=maxsize, enabled=enabled)

@@ -100,7 +100,9 @@ class Measurement:
         )
 
     def __hash__(self) -> int:
-        return hash((self.name, self.p0.shape[0]))
+        # __eq__ ignores the display name and compares projectors numerically,
+        # so the hash may only use exact invariants equality preserves.
+        return hash(("Measurement", self.p0.shape[0]))
 
     def __repr__(self) -> str:
         return f"Measurement({self.name!r}, dim={self.dimension})"
@@ -228,7 +230,9 @@ class Unitary(Program):
         )
 
     def __hash__(self) -> int:
-        return hash((self.qubits, self.name))
+        # __eq__ ignores the display name and compares matrices numerically,
+        # so the hash may only use exact invariants equality preserves.
+        return hash(("Unitary", self.qubits))
 
 
 @dataclass(frozen=True)

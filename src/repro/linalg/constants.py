@@ -13,6 +13,15 @@ import numpy as np
 #: Default absolute tolerance used by every structural check in the library.
 ATOL = 1e-8
 
+#: Default absolute tolerance for *order* decisions: the Löwner comparison
+#: ``A ⊑ B`` and the CPO order ``E ⪯ F`` on super-operators (Lemma 3.1), plus
+#: the projector/normalisation checks that feed them.  Eigenvalue routines on
+#: composed operators accumulate round-off beyond ``ATOL``, so order decisions
+#: default to this slightly looser value.  This is the single place the
+#: default is defined; callers passing an explicit ``atol`` are honored as
+#: given — stricter requests are **not** silently clamped back to ``1e-7``.
+ORDER_ATOL = 1e-7
+
 #: Looser tolerance used by iterative numerical procedures (fixpoints, SDP substitute).
 NUMERIC_TOL = 1e-6
 

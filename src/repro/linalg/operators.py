@@ -13,7 +13,7 @@ from typing import Iterable, List, Tuple
 import numpy as np
 
 from ..exceptions import DimensionMismatchError, LinalgError
-from .constants import ATOL
+from .constants import ATOL, ORDER_ATOL
 
 __all__ = [
     "as_operator",
@@ -95,12 +95,12 @@ def is_positive(matrix: np.ndarray, atol: float = ATOL) -> bool:
     return bool(eigenvalues.min(initial=0.0) >= -atol)
 
 
-def is_projector(matrix: np.ndarray, atol: float = ATOL) -> bool:
+def is_projector(matrix: np.ndarray, atol: float = ORDER_ATOL) -> bool:
     """Return ``True`` when ``matrix`` is hermitian and idempotent up to ``atol``."""
     matrix = np.asarray(matrix, dtype=complex)
     if not is_hermitian(matrix, atol=atol):
         return False
-    return bool(np.allclose(matrix @ matrix, matrix, atol=max(atol, 1e-7)))
+    return bool(np.allclose(matrix @ matrix, matrix, atol=atol))
 
 
 def is_density_operator(matrix: np.ndarray, atol: float = ATOL) -> bool:

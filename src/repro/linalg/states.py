@@ -12,7 +12,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from ..exceptions import LinalgError
-from .constants import ATOL
+from .constants import ATOL, ORDER_ATOL
 from .operators import dagger, is_partial_density_operator, outer
 
 __all__ = [
@@ -137,10 +137,10 @@ def normalize_state(vector: np.ndarray) -> np.ndarray:
     return vector / norm
 
 
-def is_normalized(vector: np.ndarray, atol: float = ATOL) -> bool:
+def is_normalized(vector: np.ndarray, atol: float = ORDER_ATOL) -> bool:
     """Return ``True`` when the vector has unit norm up to ``atol``."""
     vector = np.asarray(vector, dtype=complex)
-    return bool(abs(np.linalg.norm(vector) - 1.0) <= max(atol, 1e-7))
+    return bool(abs(np.linalg.norm(vector) - 1.0) <= atol)
 
 
 def density(state: np.ndarray) -> np.ndarray:

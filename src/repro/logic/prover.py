@@ -23,7 +23,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from ..cache import MISS, RESULT_CACHE
 from ..exceptions import InvariantError, SemanticsError, VerificationError
+from ..hashing import assertion_digest, node_digest, options_signature, register_signature
 from ..language.ast import Abort, If, Init, NDet, Program, Seq, Skip, Unitary, While
 from ..predicates.assertion import QuantumAssertion, measured_sum
 from ..predicates.order import OrderCheckResult, leq_inf
@@ -135,31 +137,67 @@ class Prover:
         self.invariants = invariants or {}
         self.options = options or ProverOptions()
         self.messages: List[str] = []
-        # Memoises annotations per (AST node, exact postcondition bytes): the
-        # per-predicate (Meas)+(Union) expansion revisits branches with the
-        # same singleton postconditions, which would otherwise compound
-        # multiplicatively under nested conditionals.
-        self._memo: Dict[tuple, AnnotatedStatement] = {}
+        # Constant components of the content-digest cache keys (see
+        # _cache_key).  ProverOptions has no uncacheable field, so the
+        # signature is always a concrete tuple.
+        self._register_signature = register_signature(register)
+        self._options_signature = options_signature(self.options)
 
     # ------------------------------------------------------------------ public
     def generate(self, program: Program, postcondition: QuantumAssertion) -> ProofOutline:
-        """Produce the proof outline for ``program`` against ``postcondition``."""
+        """Produce the proof outline for ``program`` against ``postcondition``.
+
+        Per-subterm annotations are memoized in the process-wide result cache
+        under content digests (region ``"prover"``), so structurally equal
+        subprograms — within one tree, across the per-predicate (Meas)+(Union)
+        expansion, or across separate ``generate`` calls — share one
+        annotation.  Content digests cannot alias across object lifetimes, so
+        no defensive clearing between runs is needed.
+        """
         if postcondition.dimension != self.register.dimension:
             raise VerificationError(
                 "postcondition dimension does not match the register; embed the assertion first"
             )
-        # The memo keys on id(node); clear it so ids recycled from a previous,
-        # garbage-collected program tree cannot alias.
-        self._memo.clear()
         root = self._annotate(program, postcondition)
         return ProofOutline(root=root)
 
     # ----------------------------------------------------------------- helpers
+    def _cache_key(self, program: Program, post: QuantumAssertion) -> Optional[tuple]:
+        """Build the content-digest cache key of one annotation, or ``None``.
+
+        The key must determine the annotation completely: correctness mode,
+        program digest, postcondition digest, the invariant assigned to every
+        while loop *inside* the subtree (invariants are per-``id`` user input,
+        not program content), the register and the numeric options.  A loop
+        with no assigned invariant makes the subtree uncacheable (the handler
+        raises :class:`InvariantError` anyway).
+        """
+        invariant_digests = []
+        if program.contains_while():
+            for node in program.walk():
+                if isinstance(node, While):
+                    invariant = self.invariants.get(id(node))
+                    if invariant is None:
+                        return None
+                    invariant_digests.append(assertion_digest(invariant))
+        return (
+            self.mode.name,
+            node_digest(program),
+            assertion_digest(post),
+            tuple(invariant_digests),
+            self._register_signature,
+            self._options_signature,
+        )
+
     def _annotate(self, program: Program, post: QuantumAssertion) -> AnnotatedStatement:
-        key = (id(program), tuple(predicate.matrix.tobytes() for predicate in post.predicates))
-        cached = self._memo.get(key)
-        if cached is not None:
-            return cached
+        key = self._cache_key(program, post)
+        cached = RESULT_CACHE.lookup("prover", key)
+        if cached is not MISS:
+            # Replay the messages (invariant validations, ranking syntheses)
+            # the original annotation produced, so reports stay identical.
+            annotated, messages = cached
+            self.messages.extend(messages)
+            return annotated
         handler = {
             Skip: self._annotate_skip,
             Abort: self._annotate_abort,
@@ -172,8 +210,9 @@ class Prover:
         }.get(type(program))
         if handler is None:
             raise VerificationError(f"unsupported construct {type(program).__name__}")
+        message_mark = len(self.messages)
         annotated = handler(program, post)
-        self._memo[key] = annotated
+        RESULT_CACHE.store("prover", key, (annotated, tuple(self.messages[message_mark:])))
         return annotated
 
     def _annotate_skip(self, program: Skip, post: QuantumAssertion) -> AnnotatedStatement:

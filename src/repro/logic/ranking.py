@@ -141,7 +141,7 @@ def check_ranking(
             )
         # Condition (2): decreasing sequence with infimum 0 (checked via the residual).
         for earlier, later in zip(sequence, sequence[1:]):
-            if not loewner_le(later.matrix, earlier.matrix, atol=max(epsilon, 1e-7)):
+            if not loewner_le(later.matrix, earlier.matrix, atol=epsilon):
                 raise RankingError(
                     f"condition (2) fails for scheduler {scheduler.describe()}: sequence not decreasing"
                 )

@@ -173,6 +173,9 @@ class QuantumAssertion:
         return isinstance(other, QuantumAssertion) and self.set_equal(other)
 
     def __hash__(self) -> int:
+        # Member predicates hash by exact invariants only (see
+        # QuantumPredicate.__hash__); the frozenset keeps the result
+        # order-insensitive, matching set_equal.
         return hash(frozenset(hash(predicate) for predicate in self._predicates))
 
     def _check_dimension(self, other: "QuantumAssertion") -> None:

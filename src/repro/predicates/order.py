@@ -80,7 +80,7 @@ def leq_inf(
     for index, psi_predicate in enumerate(psi.predicates):
         if theta.is_singleton():
             theta_predicate = theta.predicates[0]
-            if loewner_le(theta_predicate.matrix, psi_predicate.matrix, atol=max(epsilon, 1e-7)):
+            if loewner_le(theta_predicate.matrix, psi_predicate.matrix, atol=epsilon):
                 details.append(f"N_{index}: Löwner comparison holds")
                 continue
             gap = max_min_expectation_gap(theta.matrices, psi_predicate.matrix, **solver_options)

@@ -11,7 +11,8 @@ from typing import Sequence
 import numpy as np
 
 from ..exceptions import DimensionMismatchError, PredicateError
-from ..linalg.constants import ATOL
+from ..hashing import tolerance_safe_hash
+from ..linalg.constants import ATOL, ORDER_ATOL
 from ..linalg.operators import (
     dagger,
     is_hermitian,
@@ -149,12 +150,12 @@ class QuantumPredicate:
         return QuantumPredicate(register.embed(self._matrix, qubits), name=self.name, validate=False)
 
     # ---------------------------------------------------------------- ordering
-    def loewner_le(self, other: "QuantumPredicate", atol: float = ATOL) -> bool:
+    def loewner_le(self, other: "QuantumPredicate", atol: float = ORDER_ATOL) -> bool:
         """Return ``True`` when ``self ⊑ other`` in the Löwner order."""
         self._check_dimension(other)
-        return loewner_le(self._matrix, other._matrix, atol=max(atol, 1e-7))
+        return loewner_le(self._matrix, other._matrix, atol=atol)
 
-    def close_to(self, other: "QuantumPredicate", atol: float = 1e-7) -> bool:
+    def close_to(self, other: "QuantumPredicate", atol: float = ORDER_ATOL) -> bool:
         """Return ``True`` when the two predicates are numerically equal."""
         return operators_close(self._matrix, other._matrix, atol=atol)
 
@@ -162,7 +163,10 @@ class QuantumPredicate:
         return isinstance(other, QuantumPredicate) and self.close_to(other)
 
     def __hash__(self) -> int:
-        return hash(np.round(self._matrix, 6).tobytes())
+        # Tolerance-based equality admits no payload-derived hash (rounded
+        # bytes split equal predicates near a rounding boundary); hash only
+        # the exact invariants and let __eq__ resolve bucket collisions.
+        return tolerance_safe_hash("predicate", self.dimension)
 
     def _check_dimension(self, other: "QuantumPredicate") -> None:
         if self.dimension != other.dimension:

@@ -49,7 +49,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..cache import MISS, RESULT_CACHE
 from ..exceptions import SemanticsError
+from ..hashing import node_digest, options_signature, register_signature
 from ..language.ast import Abort, If, Init, NDet, Program, Seq, Skip, Unitary, While
 from ..registers import QubitRegister
 from ..superop.compare import deduplicate
@@ -232,21 +234,38 @@ def denotation(
     Returns a list of :class:`SuperOperator` (Kraus backend) or
     :class:`TransferSuperOperator` (transfer backend); both satisfy the same
     channel protocol.
+
+    Results are memoized in the process-wide result cache (region
+    ``"denotation"``) under the program's content digest, the register
+    signature and the full options signature; passing explicit ``schedulers``
+    makes the call uncacheable (see
+    :func:`repro.hashing.options_signature`).  Cached channels are shared
+    objects — treat them (like all channels) as immutable.
     """
     register = register or QubitRegister.for_program(program)
     options = options or DenotationOptions()
     missing = set(program.quantum_variables()) - set(register.names)
     if missing:
         raise SemanticsError(f"register does not contain program variables {sorted(missing)}")
+    options_sig = options_signature(options)
+    cache_key = None
+    if options_sig is not None:
+        cache_key = (node_digest(program), register_signature(register), options_sig)
+        cached = RESULT_CACHE.lookup("denotation", cache_key)
+        if cached is not MISS:
+            return list(cached)
     if options.backend == "transfer":
-        maps = _denote_transfer(program, register, options)
+        transfer_maps = _denote_transfer(program, register, options)
         if options.dedup:
-            maps = maps.deduplicated()
-        return maps.operators()
-    maps = _denote(program, register, options)
-    if options.dedup:
-        maps = deduplicate(maps)
-    return maps
+            transfer_maps = transfer_maps.deduplicated()
+        result = transfer_maps.operators()
+    else:
+        result = _denote(program, register, options)
+        if options.dedup:
+            result = deduplicate(result)
+    if cache_key is not None:
+        RESULT_CACHE.store("denotation", cache_key, tuple(result))
+    return list(result)
 
 
 def apply_denotation(
@@ -418,16 +437,57 @@ def _loop_schedulers(options, num_choices: int) -> List[Scheduler]:
     return schedulers
 
 
+class _GlobalPrefixCache:
+    """Adapter exposing the ``loop_iterates`` prefix-cache dict protocol
+    (``get``/``setdefault``/``__setitem__``) over the process-wide result
+    cache, region ``"loop-prefix"``.
+
+    The base key pins down everything the prefixes depend on besides the
+    scheduler's choice sequence: the loop's content digest, the register and
+    the full options signature (``body_maps`` derive deterministically from
+    loop + options).  Loop-prefix chains are thereby shared across schedulers
+    *and* across separate denotation calls, with the LRU bound of the global
+    cache replacing the old per-call retention concern.
+    """
+
+    __slots__ = ("_base",)
+
+    def __init__(self, base_key: tuple):
+        self._base = base_key
+
+    def get(self, choices):
+        """Return the cached prefix for a choice sequence, or ``None``."""
+        value = RESULT_CACHE.lookup("loop-prefix", self._base + (choices,))
+        return None if value is MISS else value
+
+    def setdefault(self, choices, default):
+        """Return the cached prefix, inserting ``default`` on a miss."""
+        existing = self.get(choices)
+        if existing is not None:
+            return existing
+        self[choices] = default
+        return default
+
+    def __setitem__(self, choices, value):
+        RESULT_CACHE.store("loop-prefix", self._base + (choices,), value)
+
+
 def _explore_loop(program, register, body_maps, options: DenotationOptions) -> List:
     """Run :func:`loop_iterates` for every scheduler, sharing prefixes when useful.
 
-    A prefix cache only pays off when several schedulers can agree on a choice
-    sequence; with a single scheduler it would retain every intermediate
-    prefix for no benefit, so memoisation is engaged only for multi-scheduler
-    exploration.
+    With cacheable options the prefixes go through the process-wide result
+    cache (see :class:`_GlobalPrefixCache`); with explicit user schedulers the
+    old behaviour is kept — a per-call dict when several schedulers can share
+    prefixes, no memoisation for a single scheduler.
     """
     schedulers = _loop_schedulers(options, len(body_maps))
-    prefix_cache: Optional[Dict[Tuple[int, ...], object]] = {} if len(schedulers) > 1 else None
+    options_sig = options_signature(options)
+    if options_sig is not None:
+        prefix_cache = _GlobalPrefixCache(
+            (node_digest(program), register_signature(register), options_sig)
+        )
+    else:
+        prefix_cache = {} if len(schedulers) > 1 else None
     results = []
     for scheduler in schedulers:
         iterates = loop_iterates(

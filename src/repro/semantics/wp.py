@@ -23,7 +23,9 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..cache import MISS, RESULT_CACHE
 from ..exceptions import SemanticsError
+from ..hashing import node_digest, options_signature, predicate_digest, register_signature
 from ..language.ast import Abort, If, Init, NDet, Program, Seq, Skip, Unitary, While
 from ..linalg.tensor import apply_local_conjugation
 from ..predicates.assertion import QuantumAssertion
@@ -111,6 +113,40 @@ def _transform(
 
 
 def _xp_single(
+    program: Program,
+    post: QuantumPredicate,
+    register: QubitRegister,
+    options: WpOptions,
+    liberal: bool,
+) -> List[QuantumPredicate]:
+    """Memoizing wrapper around the structural wp/wlp recursion.
+
+    Every (sub)term's transformer result is keyed by content digests in the
+    process-wide result cache (region ``"wp"``), so repeated subterms — and
+    repeated calls on edited programs sharing subtrees — skip their adjoint
+    applications entirely.  Explicit user schedulers make the options
+    signature ``None`` and bypass the cache.
+    """
+    options_sig = options_signature(options)
+    key = None
+    if options_sig is not None:
+        key = (
+            "wlp" if liberal else "wp",
+            node_digest(program),
+            predicate_digest(post),
+            register_signature(register),
+            options_sig,
+        )
+        cached = RESULT_CACHE.lookup("wp", key)
+        if cached is not MISS:
+            return list(cached)
+    result = _xp_single_uncached(program, post, register, options, liberal)
+    if key is not None:
+        RESULT_CACHE.store("wp", key, tuple(result))
+    return result
+
+
+def _xp_single_uncached(
     program: Program,
     post: QuantumPredicate,
     register: QubitRegister,

@@ -23,7 +23,7 @@ from typing import Iterable, List
 import numpy as np
 
 from ..exceptions import LinalgError
-from ..linalg.constants import ATOL
+from ..linalg.constants import ATOL, ORDER_ATOL
 from ..linalg.operators import dagger, is_positive, loewner_le
 
 __all__ = [
@@ -90,9 +90,9 @@ def kraus_from_choi(choi: np.ndarray, atol: float = 1e-10) -> List[np.ndarray]:
     return kraus
 
 
-def is_cp_choi(choi: np.ndarray, atol: float = ATOL) -> bool:
+def is_cp_choi(choi: np.ndarray, atol: float = ORDER_ATOL) -> bool:
     """Return ``True`` when the Choi matrix certifies a completely positive map."""
-    return is_positive(choi, atol=max(atol, 1e-7))
+    return is_positive(choi, atol=atol)
 
 
 def _partial_trace_output(choi: np.ndarray) -> np.ndarray:
@@ -111,12 +111,12 @@ def is_tp_choi(choi: np.ndarray, atol: float = 1e-7) -> bool:
     return bool(np.allclose(reduced, np.eye(reduced.shape[0]), atol=atol))
 
 
-def is_tni_choi(choi: np.ndarray, atol: float = 1e-7) -> bool:
+def is_tni_choi(choi: np.ndarray, atol: float = ORDER_ATOL) -> bool:
     """Return ``True`` when the Choi matrix corresponds to a trace non-increasing map."""
     reduced = _partial_trace_output(choi)
     return loewner_le(reduced, np.eye(reduced.shape[0]), atol=atol)
 
 
-def choi_precedes(choi_a: np.ndarray, choi_b: np.ndarray, atol: float = 1e-7) -> bool:
+def choi_precedes(choi_a: np.ndarray, choi_b: np.ndarray, atol: float = ORDER_ATOL) -> bool:
     """Return ``True`` when the map of ``choi_a`` precedes that of ``choi_b`` (Lemma 3.1)."""
     return is_positive(np.asarray(choi_b) - np.asarray(choi_a), atol=atol)

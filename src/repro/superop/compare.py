@@ -21,7 +21,7 @@ from typing import Iterable, List, Sequence
 
 import numpy as np
 
-from ..linalg.constants import ATOL
+from ..linalg.constants import ATOL, ORDER_ATOL
 
 __all__ = [
     "superoperator_equal",
@@ -51,7 +51,7 @@ def superoperator_equal(a, b, atol: float = ATOL) -> bool:
     return a.equals(b, atol=atol)
 
 
-def superoperator_precedes(a, b, atol: float = ATOL) -> bool:
+def superoperator_precedes(a, b, atol: float = ORDER_ATOL) -> bool:
     """Return ``True`` when ``a ⪯ b``, i.e. ``b − a`` is completely positive."""
     return a.precedes(b, atol=atol)
 

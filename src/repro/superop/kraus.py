@@ -26,7 +26,8 @@ from typing import Iterable, List, Sequence, Tuple
 import numpy as np
 
 from ..exceptions import DimensionMismatchError, SuperOperatorError
-from ..linalg.constants import ATOL
+from ..hashing import tolerance_safe_hash
+from ..linalg.constants import ATOL, ORDER_ATOL
 from ..linalg.operators import dagger, is_positive, is_unitary, kraus_gram, loewner_le, num_qubits_of
 from ..linalg.tensor import apply_local_right
 from .choi import choi_matrix
@@ -142,13 +143,13 @@ class SuperOperator:
         """Return ``Σ_i E_i† E_i`` — equals ``I`` exactly for trace-preserving maps."""
         return kraus_gram(self._kraus)
 
-    def is_trace_preserving(self, atol: float = ATOL) -> bool:
+    def is_trace_preserving(self, atol: float = ORDER_ATOL) -> bool:
         """Return ``True`` when ``Σ E_i†E_i = I`` up to ``atol``."""
-        return bool(np.allclose(self.kraus_gram(), np.eye(self._dimension), atol=max(atol, 1e-7)))
+        return bool(np.allclose(self.kraus_gram(), np.eye(self._dimension), atol=atol))
 
-    def is_trace_nonincreasing(self, atol: float = ATOL) -> bool:
+    def is_trace_nonincreasing(self, atol: float = ORDER_ATOL) -> bool:
         """Return ``True`` when ``Σ E_i†E_i ⊑ I`` up to ``atol``."""
-        return loewner_le(self.kraus_gram(), np.eye(self._dimension), atol=max(atol, 1e-7))
+        return loewner_le(self.kraus_gram(), np.eye(self._dimension), atol=atol)
 
     def choi(self) -> np.ndarray:
         """Return the (unnormalised) Choi matrix of the map."""
@@ -276,12 +277,12 @@ class SuperOperator:
         return NotImplemented
 
     def __hash__(self) -> int:
-        # Both representations hash the rounded Choi matrix so that maps that
-        # compare equal across representations also hash equal.
-        choi = np.round(self.choi(), 6)
-        return hash((self._dimension, choi.tobytes()))
+        # Tolerance-based equality admits no payload-derived hash (rounding a
+        # boundary-straddling pair of equal maps can split buckets); hash only
+        # the exact invariants, shared across all three representations.
+        return tolerance_safe_hash("superop", self._dimension)
 
-    def precedes(self, other, atol: float = ATOL) -> bool:
+    def precedes(self, other, atol: float = ORDER_ATOL) -> bool:
         """Return ``True`` when ``self ⪯ other`` in the CPO of super-operators.
 
         By Lemma 3.1 this holds iff ``other − self`` is completely positive,
@@ -290,7 +291,7 @@ class SuperOperator:
         if self._dimension != other.dimension:
             return False
         difference = other.choi() - self.choi()
-        return is_positive(difference, atol=max(atol, 1e-7))
+        return is_positive(difference, atol=atol)
 
     # ------------------------------------------------------------------ misc
     def simplified(self, atol: float = 1e-10) -> "SuperOperator":

@@ -39,7 +39,8 @@ from typing import Iterable, List, Sequence, Tuple
 import numpy as np
 
 from ..exceptions import DimensionMismatchError, SuperOperatorError
-from ..linalg.constants import ATOL
+from ..hashing import tolerance_safe_hash
+from ..linalg.constants import ATOL, ORDER_ATOL
 from ..linalg.operators import dagger, is_positive, is_unitary, loewner_le
 from ..linalg.operators import kraus_gram as kraus_gram_of
 from ..linalg.tensor import (
@@ -353,19 +354,19 @@ class LocalSuperOperator:
             return self.small_gram()[0, 0] * np.eye(self.dimension, dtype=complex)
         return embed_operator(self.small_gram(), self._positions, self._num_qubits)
 
-    def is_trace_nonincreasing(self, atol: float = ATOL) -> bool:
+    def is_trace_nonincreasing(self, atol: float = ORDER_ATOL) -> bool:
         """Return ``True`` when the map is trace non-increasing up to ``atol``.
 
         The gram of the cylinder extension is the extension of the small gram,
         so the check runs entirely on the ``2^k``-dimensional small space.
         """
         side = self._smalls[0].shape[0]
-        return loewner_le(self.small_gram(), np.eye(side), atol=max(atol, 1e-7))
+        return loewner_le(self.small_gram(), np.eye(side), atol=atol)
 
-    def is_trace_preserving(self, atol: float = ATOL) -> bool:
+    def is_trace_preserving(self, atol: float = ORDER_ATOL) -> bool:
         """Return ``True`` when the small gram equals the identity up to ``atol``."""
         side = self._smalls[0].shape[0]
-        return bool(np.allclose(self.small_gram(), np.eye(side), atol=max(atol, 1e-7)))
+        return bool(np.allclose(self.small_gram(), np.eye(side), atol=atol))
 
     def probability_bound(self) -> float:
         """Return ``λ_max(Σ E_i†E_i)``, computed on the small space."""
@@ -404,12 +405,12 @@ class LocalSuperOperator:
             return False
         return bool(np.allclose(self.choi(), other.choi(), atol=atol))
 
-    def precedes(self, other, atol: float = ATOL) -> bool:
+    def precedes(self, other, atol: float = ORDER_ATOL) -> bool:
         """Return ``True`` when ``self ⪯ other`` in the CPO of super-operators."""
         if self.dimension != other.dimension:
             return False
         difference = other.choi() - self.choi()
-        return is_positive(difference, atol=max(atol, 1e-7))
+        return is_positive(difference, atol=atol)
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, (LocalSuperOperator, SuperOperator, TransferSuperOperator)):
@@ -417,10 +418,9 @@ class LocalSuperOperator:
         return NotImplemented
 
     def __hash__(self) -> int:
-        # Hash the rounded Choi matrix so maps that compare equal across
-        # representations also hash equal (matching kraus/transfer).
-        choi = np.round(self.choi(), 6)
-        return hash((self.dimension, choi.tobytes()))
+        # Tolerance-based equality admits no payload-derived hash; hash only
+        # the exact invariants, shared across all three representations.
+        return tolerance_safe_hash("superop", self.dimension)
 
     # -------------------------------------------------------------------- misc
     def _lift_to(self, support: Sequence[int]) -> List[np.ndarray]:

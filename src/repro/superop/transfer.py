@@ -36,7 +36,8 @@ from typing import Iterable, List, Sequence
 import numpy as np
 
 from ..exceptions import DimensionMismatchError, SuperOperatorError
-from ..linalg.constants import ATOL
+from ..hashing import tolerance_safe_hash
+from ..linalg.constants import ATOL, ORDER_ATOL
 from ..linalg.operators import dagger, is_positive
 from ..linalg.tensor import apply_local_left, apply_local_right
 from .choi import is_tni_choi, kraus_from_choi
@@ -194,13 +195,13 @@ class TransferSuperOperator:
         """Convert back to the Kraus-form :class:`SuperOperator`."""
         return SuperOperator(self.kraus(atol=atol), validate=False)
 
-    def is_trace_preserving(self, atol: float = ATOL) -> bool:
+    def is_trace_preserving(self, atol: float = ORDER_ATOL) -> bool:
         """Return ``True`` when the map preserves the trace up to ``atol``."""
-        return bool(np.allclose(self.kraus_gram(), np.eye(self._dimension), atol=max(atol, 1e-7)))
+        return bool(np.allclose(self.kraus_gram(), np.eye(self._dimension), atol=atol))
 
-    def is_trace_nonincreasing(self, atol: float = ATOL) -> bool:
+    def is_trace_nonincreasing(self, atol: float = ORDER_ATOL) -> bool:
         """Return ``True`` when the map is trace non-increasing up to ``atol``."""
-        return is_tni_choi(self.choi(), atol=max(atol, 1e-7))
+        return is_tni_choi(self.choi(), atol=atol)
 
     def kraus_gram(self) -> np.ndarray:
         """Return ``Σ_i E_i†E_i = E†(I)`` without leaving the transfer picture."""
@@ -326,12 +327,11 @@ class TransferSuperOperator:
         return self.equals(other)
 
     def __hash__(self) -> int:
-        # Hash the rounded Choi matrix (not the transfer matrix) so equal maps
-        # hash identically across the Kraus and transfer representations.
-        choi = np.round(self.choi(), 6)
-        return hash((self._dimension, choi.tobytes()))
+        # Tolerance-based equality admits no payload-derived hash; hash only
+        # the exact invariants, shared across all three representations.
+        return tolerance_safe_hash("superop", self._dimension)
 
-    def precedes(self, other, atol: float = ATOL) -> bool:
+    def precedes(self, other, atol: float = ORDER_ATOL) -> bool:
         """Return ``True`` when ``self ⪯ other`` in the CPO of super-operators.
 
         By Lemma 3.1 this holds iff the difference of Choi matrices is
@@ -342,7 +342,7 @@ class TransferSuperOperator:
         if other_matrix is None or self._dimension != other.dimension:
             return False
         difference = choi_from_transfer(other_matrix - self._matrix)
-        return is_positive(difference, atol=max(atol, 1e-7))
+        return is_positive(difference, atol=atol)
 
     def _check_dimension(self, other: "TransferSuperOperator") -> None:
         if self._dimension != other.dimension:

@@ -1,0 +1,57 @@
+"""Smoke test of the incremental re-verification benchmark harness.
+
+Runs ``benchmarks/bench_incremental.py`` in ``--smoke`` mode against a
+temporary output path: every edit-stream member must verify, the warm stream
+must beat the cold stream, and the emitted JSON must follow the
+``BENCH_incremental.json`` schema documented in the README.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+import bench_incremental  # noqa: E402  (needs the benchmarks/ path above)
+
+
+def test_smoke_stream_writes_schema_conformant_json(tmp_path):
+    out = tmp_path / "BENCH_incremental.json"
+    exit_code = bench_incremental.main(["--smoke", "--out", str(out)])
+    assert exit_code == 0
+
+    payload = json.loads(out.read_text())
+    assert payload["benchmark"] == "bench_incremental"
+    assert payload["smoke"] is True
+    assert payload["passed"] is True
+    assert payload["claims"]["warm_vs_cold_speedup"] > 1.0
+
+    results = {entry["mode"]: entry for entry in payload["results"]}
+    assert set(results) == {"cold", "warm"}
+    for entry in results.values():
+        assert entry["programs"] == entry["variants"] * entry["rounds"]
+        assert entry["seconds"] >= 0.0
+        assert entry["programs_per_second"] > 0.0
+
+    # The warm stream's final cache snapshot must show real reuse.
+    regions = payload["cache_stats"]["regions"]
+    assert regions["prover"]["hits"] > 0
+
+
+def test_edit_stream_members_are_distinct_but_share_the_tail():
+    from repro.hashing import node_digest
+
+    members, _register = bench_incremental.build_edit_stream(2, variants=3, rounds=2)
+    first_round = members[:3]
+    digests = [node_digest(formula.program) for _name, formula in first_round]
+    assert len(set(digests)) == 3  # every edit is a structurally distinct program
+    # Cycling the variants repeats digests exactly in later rounds.
+    assert [node_digest(f.program) for _n, f in members[3:]] == digests
+
+
+def test_check_payload_rejects_slow_warm_stream():
+    payload = {"smoke": True, "claims": {"warm_vs_cold_speedup": 0.9}}
+    assert bench_incremental.check_payload(payload)
+    payload = {"smoke": True, "claims": {"warm_vs_cold_speedup": 1.5}}
+    assert not bench_incremental.check_payload(payload)

@@ -1,0 +1,225 @@
+"""Tests of the process-wide result cache and its hot-path wiring.
+
+Covers the :class:`~repro.cache.ResultCache` mechanics (LRU bound, counters,
+``cache_stats()``), the prover's content-digest memo (structurally identical
+subprograms share one annotation; a single-branch edit reuses ≥ 50 % of the
+per-subterm annotations — the ISSUE 6 acceptance criterion), honoring of
+caller tolerances after the de-clamping, and a cached-vs-uncached correctness
+sweep over the case-study formulas at 2–4 qubits × backend × lifting.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache import RESULT_CACHE, ResultCache, cache_stats, clear_result_cache
+from repro.language.ast import If, Measurement, Unitary, seq
+from repro.linalg.constants import ATOL, H, ORDER_ATOL, P0, P1, X, Z
+from repro.logic.formula import CorrectnessFormula, CorrectnessMode
+from repro.logic.prover import ProverOptions, verify_formula
+from repro.predicates.assertion import QuantumAssertion
+from repro.predicates.predicate import QuantumPredicate
+from repro.programs.deutsch import deutsch_formula
+from repro.programs.errcorr import errcorr_formula
+from repro.programs.grover import grover_formula
+from repro.registers import QubitRegister
+from repro.semantics.denotational import BACKENDS, LIFTINGS, DenotationOptions, denotation
+from repro.superop.compare import set_equal
+from repro.superop.kraus import SuperOperator
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    """Isolate every test: start empty, restore default configuration after."""
+    clear_result_cache()
+    yield
+    RESULT_CACHE.configure(maxsize=4096, enabled=True)
+    clear_result_cache()
+
+
+def _region(stats, name):
+    return stats["regions"].get(name, {"hits": 0, "misses": 0, "evictions": 0})
+
+
+# ---------------------------------------------------------------------------
+# ResultCache mechanics
+# ---------------------------------------------------------------------------
+
+
+def test_result_cache_counters_and_lru_eviction():
+    cache = ResultCache(maxsize=2)
+    from repro.cache import MISS
+
+    assert cache.lookup("r", "a") is MISS
+    cache.store("r", "a", 1)
+    assert cache.lookup("r", "a") == 1
+    cache.store("r", "b", 2)
+    cache.store("r", "c", 3)  # evicts "a" (least recently used)
+    assert cache.lookup("r", "a") is MISS
+    stats = cache.stats()
+    assert stats["size"] == 2
+    assert _region(stats, "r")["hits"] == 1
+    assert _region(stats, "r")["misses"] == 2
+    assert _region(stats, "r")["evictions"] == 1
+
+
+def test_result_cache_none_key_bypasses_and_disable_switch():
+    cache = ResultCache()
+    from repro.cache import MISS
+
+    cache.store("r", None, "x")
+    assert cache.lookup("r", None) is MISS
+    assert cache.stats()["regions"] == {}
+    cache.configure(enabled=False)
+    cache.store("r", "k", "v")
+    assert cache.lookup("r", "k") is MISS
+    cache.configure(enabled=True)
+    assert cache.stats()["enabled"] is True
+
+
+def test_cache_stats_reports_process_wide_regions():
+    formula, register = deutsch_formula()
+    verify_formula(formula, register)
+    stats = cache_stats()
+    assert _region(stats, "prover")["misses"] > 0
+    assert stats["size"] > 0
+
+
+# ---------------------------------------------------------------------------
+# Prover annotation sharing and incremental reuse
+# ---------------------------------------------------------------------------
+
+_MEAS = Measurement("M01", P0, P1)
+
+
+def _gate(name, qubit, matrix):
+    return Unitary((qubit,), name, matrix)
+
+
+def _formula_for(program, register):
+    identity = QuantumAssertion.identity(register.num_qubits)
+    return CorrectnessFormula(identity, program, identity, CorrectnessMode.PARTIAL)
+
+
+def test_identical_subprograms_share_one_annotation():
+    # Two structurally identical (but separately constructed) branches of a
+    # nondeterministic choice must resolve to ONE annotation object.
+    from repro.language.ast import NDet
+
+    sub_a = seq(_gate("H", "q0", H), _gate("X", "q1", X))
+    sub_b = seq(_gate("H", "q0", H.copy()), _gate("X", "q1", X.copy()))
+    program = NDet((sub_a, sub_b))
+    register = QubitRegister(["q0", "q1"])
+    report = verify_formula(_formula_for(program, register), register)
+    assert report.verified
+    root = report.outline.root
+    assert root.children[0] is root.children[1]
+    assert _region(cache_stats(), "prover")["hits"] > 0
+
+
+def test_single_branch_edit_reuses_at_least_half_the_annotations():
+    register = QubitRegister(["q0", "q1"])
+
+    def program_with(then_gate):
+        conditional = If(_MEAS, ("q0",), _gate("T", "q1", then_gate), _gate("E", "q1", Z))
+        tail = [_gate(f"G{i}", "q0" if i % 2 else "q1", H if i % 2 else X) for i in range(8)]
+        return seq(conditional, *tail)
+
+    verify_formula(_formula_for(program_with(X), register), register)
+    before = _region(cache_stats(), "prover")
+    # Edit one branch of the conditional; everything else is unchanged.
+    verify_formula(_formula_for(program_with(H), register), register)
+    after = _region(cache_stats(), "prover")
+    hits = after["hits"] - before["hits"]
+    misses = after["misses"] - before["misses"]
+    assert hits + misses > 0
+    reuse = hits / (hits + misses)
+    assert reuse >= 0.5, f"only {reuse:.0%} of per-subterm annotations were reused"
+
+
+def test_reverification_of_identical_program_is_a_full_cache_hit():
+    formula, register = grover_formula(2)
+    first = verify_formula(formula, register)
+    before = _region(cache_stats(), "prover")
+    second = verify_formula(formula, register)
+    after = _region(cache_stats(), "prover")
+    assert second.verified == first.verified
+    assert after["misses"] == before["misses"]  # no annotation recomputed
+    assert after["hits"] > before["hits"]
+    assert second.messages == first.messages  # replayed, not dropped
+
+
+# ---------------------------------------------------------------------------
+# Tolerance honoring (de-clamped atol)
+# ---------------------------------------------------------------------------
+
+
+def test_loewner_le_honors_stricter_caller_atol():
+    eps = QuantumPredicate.uniform(5e-8, 1)
+    zero = QuantumPredicate.zero(1)
+    assert eps.loewner_le(zero, atol=1e-7)  # loose request: holds
+    assert not eps.loewner_le(zero, atol=1e-9)  # strict request now honored
+    assert ORDER_ATOL == pytest.approx(1e-7)
+
+
+def test_precedes_honors_stricter_caller_atol():
+    eps = SuperOperator.scalar(5e-8, 2)
+    zero = SuperOperator.zero(2)
+    assert eps.precedes(zero, atol=5e-7)
+    assert not eps.precedes(zero, atol=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# Cached vs uncached agreement on the case studies
+# ---------------------------------------------------------------------------
+
+
+def _sweep_cases():
+    yield "deutsch", *deutsch_formula()
+    for qubits in (2, 3, 4):
+        yield f"grover{qubits}", *grover_formula(qubits)
+    yield "grover3-gates", *grover_formula(3, layout="gates")
+    yield "errcorr3", *errcorr_formula(num_data_qubits=3)
+
+
+_CASES = list(_sweep_cases())
+_COMBINATIONS = [(backend, lifting) for backend in BACKENDS for lifting in LIFTINGS]
+
+
+@pytest.mark.parametrize("backend,lifting", _COMBINATIONS, ids=[f"{b}-{l}" for b, l in _COMBINATIONS])
+def test_cached_and_uncached_runs_agree(backend, lifting):
+    for name, formula, register in _CASES:
+        options = DenotationOptions(backend=backend, lifting=lifting)
+        RESULT_CACHE.configure(enabled=False)
+        uncached_maps = denotation(formula.program, register, options)
+        RESULT_CACHE.configure(enabled=True)
+        clear_result_cache()
+        denotation(formula.program, register, options)  # populate
+        cached_maps = denotation(formula.program, register, options)  # served from cache
+        assert set_equal(uncached_maps, cached_maps, atol=ATOL), (name, backend, lifting)
+
+        if register.num_qubits > 3:
+            continue  # prover sweep stays cheap, as in tier-1
+        prover_options = ProverOptions(backend=backend, lifting=lifting)
+        RESULT_CACHE.configure(enabled=False)
+        uncached_report = verify_formula(formula, register, options=prover_options)
+        RESULT_CACHE.configure(enabled=True)
+        clear_result_cache()
+        verify_formula(formula, register, options=prover_options)
+        cached_report = verify_formula(formula, register, options=prover_options)
+        assert cached_report.verified == uncached_report.verified, (name, backend, lifting)
+        uncached_vc = uncached_report.verification_condition
+        cached_vc = cached_report.verification_condition
+        assert len(uncached_vc.predicates) == len(cached_vc.predicates)
+        for mine, theirs in zip(uncached_vc.predicates, cached_vc.predicates):
+            assert np.allclose(mine.matrix, theirs.matrix, atol=ATOL), (name, backend, lifting)
+
+
+def test_explicit_schedulers_bypass_the_cache():
+    from repro.semantics.schedulers import ConstantScheduler
+
+    formula, register = errcorr_formula(num_data_qubits=3)
+    options = DenotationOptions(schedulers=[ConstantScheduler(0)])
+    denotation(formula.program, register, options)
+    stats = cache_stats()
+    assert _region(stats, "denotation")["misses"] == 0
+    assert _region(stats, "denotation")["hits"] == 0
