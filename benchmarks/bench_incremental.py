@@ -46,6 +46,7 @@ from repro.linalg.constants import H, X, Z
 from repro.logic.formula import CorrectnessFormula
 from repro.logic.prover import verify_formula
 from repro.programs.grover import grover_formula
+from repro.telemetry import traced_regions
 
 #: Required warm-vs-cold throughput ratio on the full edit stream.  Wall-clock
 #: ratios are noisy on shared CI runners, so the threshold can be relaxed via
@@ -125,6 +126,12 @@ def run_benchmark(smoke: bool, repeats: int) -> Dict:
             best = min(best, seconds)
         if mode == "warm":
             final_stats = cache_stats()
+        # One extra traced pass over the stream (outside the timing loop): the
+        # per-region self-time breakdown shows where the remaining wall time
+        # goes in each mode (cold re-derives everything, warm is cache-bound).
+        breakdown = traced_regions(
+            lambda: run_stream(members, register, cold=(mode == "cold"))
+        )
         entry = {
             "mode": mode,
             "workload": f"grover{num_qubits}-gates edit stream",
@@ -134,6 +141,7 @@ def run_benchmark(smoke: bool, repeats: int) -> Dict:
             "programs": programs,
             "seconds": round(best, 6),
             "programs_per_second": round(programs / max(best, 1e-12), 3),
+            "breakdown": breakdown,
         }
         results.append(entry)
         print(

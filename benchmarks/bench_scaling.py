@@ -47,6 +47,7 @@ from repro.programs.grover import grover_program, grover_register
 from repro.programs.qwalk import qwalk_program, qwalk_register
 from repro.semantics.denotational import BACKENDS, LIFTINGS, DenotationOptions, denotation
 from repro.superop.compare import set_equal
+from repro.telemetry import traced_regions
 
 #: Required speedup of transfer/local over transfer/dense on the 4-qubit
 #: headline workloads.  Wall-clock ratios are noisy on shared CI runners, so
@@ -109,6 +110,12 @@ def run_sweep(smoke: bool, repeats: int) -> Dict:
                     seconds = best_of(
                         lambda: denotation(program, register, options), repeats
                     )
+                    # One extra traced run per cell: the timed runs above stay
+                    # untraced, the breakdown attributes wall time per region
+                    # (denotation / loop / compare / ...) for this cell.
+                    breakdown = traced_regions(
+                        lambda: denotation(program, register, options)
+                    )
                     entry = {
                         "workload": family,
                         "size": size,
@@ -117,6 +124,7 @@ def run_sweep(smoke: bool, repeats: int) -> Dict:
                         "lifting": lifting,
                         "seconds": round(seconds, 6),
                         "agrees_with_reference": bool(agrees),
+                        "breakdown": breakdown,
                     }
                     results.append(entry)
                     print(

@@ -91,6 +91,16 @@ from .semantics import (
 from .superop import SuperOperator
 from .hashing import assertion_digest, node_digest, predicate_digest, superop_digest
 from .assistant import Session, verify, verify_source
+from . import telemetry
+from .telemetry import (
+    METRICS,
+    ProofEvent,
+    configure_tracing,
+    get_tracer,
+    metrics_snapshot,
+    region_breakdown,
+    span,
+)
 
 __version__ = "1.0.0"
 
@@ -164,4 +174,13 @@ __all__ = [
     "predicate_digest",
     "assertion_digest",
     "superop_digest",
+    # observability
+    "telemetry",
+    "span",
+    "get_tracer",
+    "configure_tracing",
+    "region_breakdown",
+    "METRICS",
+    "metrics_snapshot",
+    "ProofEvent",
 ]

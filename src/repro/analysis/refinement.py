@@ -9,7 +9,7 @@ specification to the implementation.  This module provides both views.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional
 
 from ..language.ast import Program
@@ -18,17 +18,26 @@ from ..logic.semantic_check import SemanticCheckResult, check_formula_semantical
 from ..registers import QubitRegister
 from ..semantics.denotational import DenotationOptions
 from ..semantics.equivalence import common_register, program_refines
+from ..telemetry.metrics import METRICS
+from ..telemetry.provenance import ProofEvent, proof_event, render_events
+from ..telemetry.tracing import span
 
 __all__ = ["RefinementReport", "check_refinement", "transfer_formula"]
 
 
 @dataclass
 class RefinementReport:
-    """Result of a refinement check between an implementation and a specification."""
+    """Result of a refinement check between an implementation and a specification.
+
+    ``messages`` is the human-readable rendering of the structured ``events``
+    (library code emits telemetry events, never stdout — the caller decides
+    how to render them).
+    """
 
     refines: bool
     register: QubitRegister
     messages: List[str]
+    events: List[ProofEvent] = field(default_factory=list)
 
 
 def check_refinement(
@@ -37,14 +46,23 @@ def check_refinement(
     options: Optional[DenotationOptions] = None,
 ) -> RefinementReport:
     """Check ``[[implementation]] ⊆ [[specification]]`` over the common register."""
-    register = common_register(implementation, specification)
-    holds = program_refines(implementation, specification, options)
-    messages = [
-        "every behaviour of the implementation is allowed by the specification"
-        if holds
-        else "the implementation exhibits a behaviour the specification does not allow"
+    with span("refinement", region="refinement") as refinement_span:
+        register = common_register(implementation, specification)
+        holds = program_refines(implementation, specification, options)
+        refinement_span.set_tag("refines", holds)
+    METRICS.counter("refinement.checks", refines=bool(holds)).inc()
+    events = [
+        proof_event(
+            "info",
+            "every behaviour of the implementation is allowed by the specification"
+            if holds
+            else "the implementation exhibits a behaviour the specification does not allow",
+            refines=bool(holds),
+        )
     ]
-    return RefinementReport(refines=holds, register=register, messages=messages)
+    return RefinementReport(
+        refines=holds, register=register, messages=render_events(events), events=events
+    )
 
 
 def transfer_formula(

@@ -9,6 +9,7 @@ files via ``--operator NAME=path``.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -19,6 +20,7 @@ from ..exceptions import ReproError
 from ..logic.formula import CorrectnessMode
 from ..logic.prover import ProverOptions
 from ..semantics.denotational import BACKENDS, LIFTINGS
+from ..telemetry import configure_tracing, get_tracer, metrics_snapshot
 from .session import Session
 from .verify import verify_source
 
@@ -94,7 +96,39 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quiet", action="store_true", help="only print the verification verdict"
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record spans across the verification pipeline and print the nested "
+        "span tree (wall time per parse/denotation/wp/prover/order-decision region)",
+    )
+    parser.add_argument(
+        "--trace-json",
+        metavar="PATH",
+        default=None,
+        help="record spans and write them as JSONL (one span per line; implies tracing)",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the metrics-registry snapshot (cache hit/miss counters, "
+        "order-decision latencies, proof-event counts) as JSON",
+    )
     return parser
+
+
+def _emit_telemetry(arguments: argparse.Namespace) -> None:
+    """Print/export the requested telemetry output after a verification run."""
+    tracer = get_tracer()
+    if arguments.trace:
+        rendered = tracer.render()
+        if rendered:
+            print(rendered)
+    if arguments.trace_json:
+        count = tracer.export_jsonl(arguments.trace_json)
+        print(f"trace: wrote {count} spans to {arguments.trace_json}", file=sys.stderr)
+    if arguments.metrics:
+        print(json.dumps(metrics_snapshot(), indent=2, sort_keys=True))
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -108,6 +142,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     except OSError as error:
         print(f"error: cannot read {source_path}: {error}", file=sys.stderr)
         return 2
+
+    if arguments.trace or arguments.trace_json:
+        configure_tracing(enabled=True)
+        get_tracer().clear()
 
     session = Session(
         mode=CorrectnessMode(arguments.mode),
@@ -132,6 +170,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     print(output)
             failed = any(proof.verified is False for proof in session.proofs.values())
             print("verification:", "FAILED" if failed else "OK")
+            _emit_telemetry(arguments)
             return 1 if failed else 0
 
         report = verify_source(
@@ -145,6 +184,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             for message in report.messages:
                 print("//", message)
         print("verification:", "OK" if report.verified else "FAILED")
+        _emit_telemetry(arguments)
         return 0 if report.verified else 1
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

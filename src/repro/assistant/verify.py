@@ -21,6 +21,7 @@ from ..logic.prover import ProverOptions, VerificationReport, verify_formula
 from ..predicates.assertion import QuantumAssertion
 from ..predicates.predicate import QuantumPredicate
 from ..registers import QubitRegister
+from ..telemetry.tracing import span
 
 __all__ = ["VerificationTask", "resolve_assertion", "verify_source", "verify"]
 
@@ -63,7 +64,8 @@ def build_task(
 ) -> VerificationTask:
     """Parse and resolve an annotated source text into a :class:`VerificationTask`."""
     environment = environment or default_environment()
-    annotated = parse_annotated_program(source, environment)
+    with span("parse", region="parse", source_bytes=len(source)):
+        annotated = parse_annotated_program(source, environment)
     program = annotated.program
 
     if register is None:
@@ -77,18 +79,19 @@ def build_task(
 
     if annotated.postcondition is None:
         raise AssistantError("the source must end with a postcondition annotation '{ ... }'")
-    postcondition = resolve_assertion(annotated.postcondition, register, environment)
-    if annotated.precondition is not None:
-        precondition = resolve_assertion(annotated.precondition, register, environment)
-    else:
-        # When no precondition is declared the tool reports the computed weakest
-        # precondition; {0} is trivially entailed by anything, so verification
-        # of the formula itself cannot fail spuriously.
-        precondition = QuantumAssertion.zero(register.num_qubits)
+    with span("resolve", region="parse", num_qubits=register.num_qubits):
+        postcondition = resolve_assertion(annotated.postcondition, register, environment)
+        if annotated.precondition is not None:
+            precondition = resolve_assertion(annotated.precondition, register, environment)
+        else:
+            # When no precondition is declared the tool reports the computed weakest
+            # precondition; {0} is trivially entailed by anything, so verification
+            # of the formula itself cannot fail spuriously.
+            precondition = QuantumAssertion.zero(register.num_qubits)
 
-    invariants: Dict[int, QuantumAssertion] = {}
-    for loop_id, spec in annotated.loop_invariants.items():
-        invariants[loop_id] = resolve_assertion(spec, register, environment, name="inv")
+        invariants: Dict[int, QuantumAssertion] = {}
+        for loop_id, spec in annotated.loop_invariants.items():
+            invariants[loop_id] = resolve_assertion(spec, register, environment, name="inv")
 
     formula = CorrectnessFormula(precondition, program, postcondition, mode)
     return VerificationTask(
@@ -103,9 +106,17 @@ def verify_source(
     mode: CorrectnessMode = CorrectnessMode.PARTIAL,
     options: Optional[ProverOptions] = None,
 ) -> VerificationReport:
-    """Verify an annotated source text and return the full report."""
-    task = build_task(source, environment, register, mode)
-    return verify_formula(task.formula, task.register, task.invariants, options)
+    """Verify an annotated source text and return the full report.
+
+    The whole run is traced under one root span (``region="verify"``) with
+    ``parse``, ``prover`` and ``order-decision`` children when the process-wide
+    tracer is enabled (see :mod:`repro.telemetry`).
+    """
+    with span("verify", region="verify", mode=mode.name) as verify_span:
+        task = build_task(source, environment, register, mode)
+        report = verify_formula(task.formula, task.register, task.invariants, options)
+        verify_span.set_tag("verified", report.verified)
+    return report
 
 
 def verify(

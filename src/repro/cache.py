@@ -19,6 +19,13 @@ quantization — i.e. results agree to the library tolerance ``ATOL``.
 The cache is a bounded LRU: insertions beyond ``maxsize`` evict the least
 recently used entry (eviction counted against the evictee's region).  All
 operations take an internal lock and are safe under free-threaded use.
+
+Counters live in a :class:`~repro.telemetry.metrics.MetricsRegistry` — the
+process-wide cache publishes ``cache.hits{region=...}`` /
+``cache.misses{region=...}`` / ``cache.evictions{region=...}`` into the shared
+:data:`repro.telemetry.METRICS` registry, and :func:`cache_stats` is a view
+over those counters (private :class:`ResultCache` instances get a private
+registry so their statistics stay isolated).
 """
 
 from __future__ import annotations
@@ -26,6 +33,8 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from typing import Any, Dict, Hashable, Optional, Tuple
+
+from .telemetry.metrics import METRICS, MetricsRegistry
 
 __all__ = [
     "MISS",
@@ -43,6 +52,9 @@ MISS = object()
 #: Default capacity of the process-wide cache (entries, not bytes).
 DEFAULT_MAXSIZE = 4096
 
+#: Counter names the cache publishes into its metrics registry.
+_COUNTER_NAMES = ("cache.hits", "cache.misses", "cache.evictions")
+
 
 class ResultCache:
     """A bounded, thread-safe LRU cache with per-region counters.
@@ -51,16 +63,19 @@ class ResultCache:
     ----------
     maxsize:
         Maximum number of entries retained across all regions.
+    registry:
+        The :class:`MetricsRegistry` receiving the hit/miss/eviction counters.
+        Defaults to a private registry; the process-wide :data:`RESULT_CACHE`
+        uses the shared :data:`repro.telemetry.METRICS` so its counters show
+        up in :func:`repro.telemetry.metrics_snapshot`.
     """
 
-    def __init__(self, maxsize: int = DEFAULT_MAXSIZE):
+    def __init__(self, maxsize: int = DEFAULT_MAXSIZE, registry: Optional[MetricsRegistry] = None):
         self._data: "OrderedDict[Tuple[str, Hashable], Any]" = OrderedDict()
         self._lock = threading.Lock()
         self._maxsize = int(maxsize)
         self._enabled = True
-        self._hits: Dict[str, int] = {}
-        self._misses: Dict[str, int] = {}
-        self._evictions: Dict[str, int] = {}
+        self._registry = registry if registry is not None else MetricsRegistry()
 
     # ------------------------------------------------------------------ access
     def lookup(self, region: str, key: Hashable):
@@ -75,54 +90,83 @@ class ResultCache:
         with self._lock:
             if full_key in self._data:
                 self._data.move_to_end(full_key)
-                self._hits[region] = self._hits.get(region, 0) + 1
-                return self._data[full_key]
-            self._misses[region] = self._misses.get(region, 0) + 1
-            return MISS
+                value = self._data[full_key]
+                hit = True
+            else:
+                value = MISS
+                hit = False
+        # Counters have their own locks; update them outside the cache lock.
+        if hit:
+            self._registry.counter("cache.hits", region=region).inc()
+            return value
+        self._registry.counter("cache.misses", region=region).inc()
+        return MISS
 
     def store(self, region: str, key: Hashable, value: Any) -> None:
         """Insert ``value`` under ``(region, key)``, evicting LRU entries if full."""
         if key is None or not self._enabled:
             return
         full_key = (region, key)
+        evicted_regions = []
         with self._lock:
             self._data[full_key] = value
             self._data.move_to_end(full_key)
             while len(self._data) > self._maxsize:
                 evicted_key, _ = self._data.popitem(last=False)
-                evicted_region = evicted_key[0]
-                self._evictions[evicted_region] = self._evictions.get(evicted_region, 0) + 1
+                evicted_regions.append(evicted_key[0])
+        for evicted_region in evicted_regions:
+            self._registry.counter("cache.evictions", region=evicted_region).inc()
 
     # -------------------------------------------------------------- management
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The metrics registry holding this cache's counters."""
+        return self._registry
+
     def stats(self) -> Dict[str, Any]:
-        """Return a snapshot of size, capacity and per-region hit/miss/eviction counts."""
+        """Return a snapshot of size, capacity and per-region hit/miss/eviction counts.
+
+        The per-region counts are a view over the cache's metrics registry
+        (``cache.hits{region=...}`` …), so this is the same data a
+        :func:`repro.telemetry.metrics_snapshot` reports for the process-wide
+        cache — kept in the historical nested shape for compatibility.
+        """
+        counters: Dict[str, Dict[str, int]] = {}
+        for name, labels, value in self._registry.iter_counters(prefix="cache."):
+            region = labels.get("region")
+            if region is None:
+                continue
+            field = name[len("cache."):]
+            counters.setdefault(region, {})[field] = value
         with self._lock:
-            regions = sorted(set(self._hits) | set(self._misses) | set(self._evictions))
-            return {
-                "size": len(self._data),
-                "maxsize": self._maxsize,
-                "enabled": self._enabled,
-                "regions": {
-                    region: {
-                        "hits": self._hits.get(region, 0),
-                        "misses": self._misses.get(region, 0),
-                        "evictions": self._evictions.get(region, 0),
-                    }
-                    for region in regions
-                },
-            }
+            size = len(self._data)
+            maxsize = self._maxsize
+            enabled = self._enabled
+        return {
+            "size": size,
+            "maxsize": maxsize,
+            "enabled": enabled,
+            "regions": {
+                region: {
+                    "hits": fields.get("hits", 0),
+                    "misses": fields.get("misses", 0),
+                    "evictions": fields.get("evictions", 0),
+                }
+                for region, fields in sorted(counters.items())
+            },
+        }
 
     def clear(self, reset_counters: bool = True) -> None:
         """Drop every entry (and, by default, reset all counters)."""
         with self._lock:
             self._data.clear()
-            if reset_counters:
-                self._hits.clear()
-                self._misses.clear()
-                self._evictions.clear()
+        if reset_counters:
+            for name in _COUNTER_NAMES:
+                self._registry.reset(prefix=name)
 
     def configure(self, maxsize: Optional[int] = None, enabled: Optional[bool] = None) -> None:
         """Adjust capacity and/or enablement; shrinking evicts LRU entries immediately."""
+        evicted_regions = []
         with self._lock:
             if enabled is not None:
                 self._enabled = bool(enabled)
@@ -130,12 +174,14 @@ class ResultCache:
                 self._maxsize = int(maxsize)
                 while len(self._data) > self._maxsize:
                     evicted_key, _ = self._data.popitem(last=False)
-                    evicted_region = evicted_key[0]
-                    self._evictions[evicted_region] = self._evictions.get(evicted_region, 0) + 1
+                    evicted_regions.append(evicted_key[0])
+        for evicted_region in evicted_regions:
+            self._registry.counter("cache.evictions", region=evicted_region).inc()
 
 
-#: The process-wide cache instance every consumer module shares.
-RESULT_CACHE = ResultCache()
+#: The process-wide cache instance every consumer module shares.  Its counters
+#: are published into the shared telemetry metrics registry.
+RESULT_CACHE = ResultCache(registry=METRICS)
 
 
 def cache_stats() -> Dict[str, Any]:

@@ -23,6 +23,8 @@ from ..semantics.denotational import (
     measurement_pair,
 )
 from ..superop.local import LocalSuperOperator
+from ..telemetry.metrics import METRICS
+from ..telemetry.tracing import span
 from .formula import CorrectnessFormula, CorrectnessMode
 
 __all__ = ["check_rule", "RULE_NAMES"]
@@ -90,6 +92,21 @@ def check_rule(
             f"unknown semantics backend {backend!r}; expected one of {BACKENDS}"
         )
     _check_lifting(lifting)
+    with span("check-rule", region="prover", rule=rule, backend=backend, lifting=lifting):
+        METRICS.counter("checker.rules", rule=rule).inc()
+        _check_rule_impl(rule, conclusion, premises, register, epsilon, backend, lifting)
+
+
+def _check_rule_impl(
+    rule: str,
+    conclusion: CorrectnessFormula,
+    premises: Sequence[CorrectnessFormula],
+    register: QubitRegister | None,
+    epsilon: float,
+    backend: str,
+    lifting: str,
+) -> None:
+    """The unspanned body of :func:`check_rule`."""
     register = conclusion.register(register)
     program = conclusion.program
     pre, post = conclusion.precondition, conclusion.postcondition

@@ -26,6 +26,9 @@ from typing import Dict, List, Optional, Sequence
 from ..cache import MISS, RESULT_CACHE
 from ..exceptions import InvariantError, SemanticsError, VerificationError
 from ..hashing import assertion_digest, node_digest, options_signature, register_signature
+from ..telemetry.metrics import METRICS
+from ..telemetry.provenance import ProofEvent, proof_event, render_events
+from ..telemetry.tracing import span
 from ..language.ast import Abort, If, Init, NDet, Program, Seq, Skip, Unitary, While
 from ..predicates.assertion import QuantumAssertion, measured_sum
 from ..predicates.order import OrderCheckResult, leq_inf
@@ -99,7 +102,14 @@ class VerificationReport:
         Details of the final ``⊑_inf`` comparison (``None`` when no declared
         precondition was given).
     messages:
-        Human-readable log of the interesting steps (invariant checks, ...).
+        Human-readable log of the interesting steps (invariant checks, ...);
+        the rendering of the ``info``-level entries of ``events``.
+    events:
+        The full structured provenance log: one timestamped
+        :class:`~repro.telemetry.provenance.ProofEvent` per rule application,
+        invariant validation, ranking synthesis, cache replay and the final
+        order decision.  Events served from the result cache carry
+        ``replayed=True``.
     """
 
     verified: bool
@@ -108,6 +118,7 @@ class VerificationReport:
     verification_condition: QuantumAssertion
     order_check: Optional[OrderCheckResult] = None
     messages: List[str] = field(default_factory=list)
+    events: List[ProofEvent] = field(default_factory=list)
 
 
 def assign_invariants(
@@ -136,12 +147,23 @@ class Prover:
         self.mode = mode
         self.invariants = invariants or {}
         self.options = options or ProverOptions()
-        self.messages: List[str] = []
+        self.events: List[ProofEvent] = []
         # Constant components of the content-digest cache keys (see
         # _cache_key).  ProverOptions has no uncacheable field, so the
         # signature is always a concrete tuple.
         self._register_signature = register_signature(register)
         self._options_signature = options_signature(self.options)
+
+    @property
+    def messages(self) -> List[str]:
+        """The ``info``-level provenance events rendered to the historical strings."""
+        return render_events(self.events)
+
+    def _record(self, event: ProofEvent) -> ProofEvent:
+        """Append one provenance event and bump its per-kind metrics counter."""
+        self.events.append(event)
+        METRICS.counter("prover.events", kind=event.kind).inc()
+        return event
 
     # ------------------------------------------------------------------ public
     def generate(self, program: Program, postcondition: QuantumAssertion) -> ProofOutline:
@@ -158,7 +180,15 @@ class Prover:
             raise VerificationError(
                 "postcondition dimension does not match the register; embed the assertion first"
             )
-        root = self._annotate(program, postcondition)
+        with span(
+            "prover",
+            region="prover",
+            mode=self.mode.name,
+            backend=self.options.backend,
+            lifting=self.options.lifting,
+            num_qubits=self.register.num_qubits,
+        ):
+            root = self._annotate(program, postcondition)
         return ProofOutline(root=root)
 
     # ----------------------------------------------------------------- helpers
@@ -190,13 +220,28 @@ class Prover:
         )
 
     def _annotate(self, program: Program, post: QuantumAssertion) -> AnnotatedStatement:
-        key = self._cache_key(program, post)
-        cached = RESULT_CACHE.lookup("prover", key)
+        with span("cache-key", region="cache", node=type(program).__name__):
+            key = self._cache_key(program, post)
+            cached = RESULT_CACHE.lookup("prover", key)
         if cached is not MISS:
-            # Replay the messages (invariant validations, ranking syntheses)
-            # the original annotation produced, so reports stay identical.
-            annotated, messages = cached
-            self.messages.extend(messages)
+            # Replay the provenance events (invariant validations, ranking
+            # syntheses, rule applications) the original annotation produced:
+            # each is re-emitted as a copy tagged ``replayed=True`` with a
+            # fresh timestamp, so structured consumers see the cache hit while
+            # the rendered report stays identical to an uncached run.
+            annotated, events = cached
+            digest = key[1] if key is not None else None
+            self._record(
+                proof_event(
+                    "cache",
+                    f"annotation for {type(program).__name__} served from the result cache",
+                    subterm_digest=digest,
+                    level="debug",
+                    replayed_events=len(events),
+                )
+            )
+            for event in events:
+                self._record(event.replay())
             return annotated
         handler = {
             Skip: self._annotate_skip,
@@ -210,9 +255,21 @@ class Prover:
         }.get(type(program))
         if handler is None:
             raise VerificationError(f"unsupported construct {type(program).__name__}")
-        message_mark = len(self.messages)
-        annotated = handler(program, post)
-        RESULT_CACHE.store("prover", key, (annotated, tuple(self.messages[message_mark:])))
+        event_mark = len(self.events)
+        with span("annotate", region="prover", node=type(program).__name__) as annotate_span:
+            annotated = handler(program, post)
+            annotate_span.set_tag("rule", annotated.rule)
+        digest = key[1] if key is not None else node_digest(program)
+        self._record(
+            proof_event(
+                "rule",
+                f"rule ({annotated.rule}) applied to {type(program).__name__}",
+                rule=annotated.rule,
+                subterm_digest=digest,
+                level="debug",
+            )
+        )
+        RESULT_CACHE.store("prover", key, (annotated, tuple(self.events[event_mark:])))
         return annotated
 
     def _annotate_skip(self, program: Skip, post: QuantumAssertion) -> AnnotatedStatement:
@@ -231,18 +288,20 @@ class Prover:
         channel = initializer_channel(
             program.qubits, self.register, self.options.backend, self.options.lifting
         )
-        pre = post.apply_superoperator_adjoint(channel)
+        with span("vc-transform", region="prover", rule="Init", predicates=len(post)):
+            pre = post.apply_superoperator_adjoint(channel)
         return AnnotatedStatement(program, pre, post, rule="Init")
 
     def _annotate_unitary(self, program: Unitary, post: QuantumAssertion) -> AnnotatedStatement:
-        if self.options.lifting == "local":
-            channel = LocalSuperOperator.from_unitary(
-                program.matrix, self.register.positions(program.qubits), self.register.num_qubits
-            )
-            pre = post.apply_superoperator_adjoint(channel)
-        else:
-            embedded = self.register.embed(program.matrix, program.qubits)
-            pre = post.conjugate_by(embedded)
+        with span("vc-transform", region="prover", rule="Unit", predicates=len(post)):
+            if self.options.lifting == "local":
+                channel = LocalSuperOperator.from_unitary(
+                    program.matrix, self.register.positions(program.qubits), self.register.num_qubits
+                )
+                pre = post.apply_superoperator_adjoint(channel)
+            else:
+                embedded = self.register.embed(program.matrix, program.qubits)
+                pre = post.conjugate_by(embedded)
         return AnnotatedStatement(program, pre, post, rule="Unit")
 
     def _annotate_seq(self, program: Seq, post: QuantumAssertion) -> AnnotatedStatement:
@@ -280,7 +339,8 @@ class Prover:
         then_child = self._annotate(program.then_branch, post)
         else_child = self._annotate(program.else_branch, post)
         if post.is_singleton():
-            pre = measured_sum(p0, else_child.precondition, p1, then_child.precondition)
+            with span("vc-transform", region="prover", rule="Meas", predicates=len(post)):
+                pre = measured_sum(p0, else_child.precondition, p1, then_child.precondition)
             rule = "Meas"
         else:
             # (Meas) must be applied once per postcondition predicate and the
@@ -300,8 +360,9 @@ class Prover:
                 single = QuantumAssertion([predicate])
                 then_pre = self._annotate(program.then_branch, single).precondition
                 else_pre = self._annotate(program.else_branch, single).precondition
-                part = measured_sum(p0, else_pre, p1, then_pre)
-                pre = part if pre is None else pre.union(part)
+                with span("vc-transform", region="prover", rule="Meas+Union"):
+                    part = measured_sum(p0, else_pre, p1, then_pre)
+                    pre = part if pre is None else pre.union(part)
             rule = "Meas+Union"
         return AnnotatedStatement(
             program, pre, post, rule=rule, children=[then_child, else_child]
@@ -320,7 +381,8 @@ class Prover:
             if invariant.dimension != self.register.dimension:
                 raise InvariantError("loop invariant dimension does not match the register")
         p0, p1 = self._measurement_pair(program)
-        loop_condition = measured_sum(p0, post, p1, invariant)
+        with span("vc-transform", region="prover", rule="While", predicates=len(post)):
+            loop_condition = measured_sum(p0, post, p1, invariant)
         body_child = self._annotate(program.body, loop_condition)
         premise_check = leq_inf(invariant, body_child.precondition, epsilon=self.options.epsilon)
         if not premise_check.holds:
@@ -328,8 +390,15 @@ class Prover:
                 f"The predicate '{invariant.name or 'Θ'}' is not a valid loop invariant: "
                 f"order relation not satisfied against the loop body's weakest precondition"
             )
-        self.messages.append(
-            f"loop invariant {invariant.name or 'Θ'} validated against the loop body"
+        self._record(
+            proof_event(
+                "invariant",
+                f"loop invariant {invariant.name or 'Θ'} validated against the loop body",
+                rule="While",
+                subterm_digest=node_digest(program),
+                invariant=invariant.name or "Θ",
+                holds=True,
+            )
         )
         rule = "While"
         if self.mode is CorrectnessMode.TOTAL:
@@ -350,8 +419,14 @@ class Prover:
                     epsilon=self.options.epsilon,
                     options=semantics_options,
                 )
-                self.messages.append(
-                    f"ranking assertion synthesised (residual {ranking.residual:.2e})"
+                self._record(
+                    proof_event(
+                        "ranking",
+                        f"ranking assertion synthesised (residual {ranking.residual:.2e})",
+                        rule="WhileT",
+                        subterm_digest=node_digest(program),
+                        residual=float(ranking.residual),
+                    )
                 )
         return AnnotatedStatement(
             program,
@@ -389,16 +464,19 @@ def verify_formula(
 
     order_check = leq_inf(formula.precondition, verification_condition, epsilon=options.epsilon)
     verified = order_check.holds
-    messages = list(prover.messages)
+    events = list(prover.events)
     if verified:
-        messages.append("declared precondition entailed by the verification condition")
+        verdict = "declared precondition entailed by the verification condition"
     else:
-        messages.append("Order relation not satisfied: declared precondition is too strong")
+        verdict = "Order relation not satisfied: declared precondition is too strong"
+    events.append(proof_event("order", verdict, holds=bool(verified)))
+    METRICS.counter("prover.verifications", verified=bool(verified)).inc()
     return VerificationReport(
         verified=verified,
         formula=formula,
         outline=outline,
         verification_condition=verification_condition,
         order_check=order_check,
-        messages=messages,
+        messages=render_events(events),
+        events=events,
     )

@@ -13,6 +13,7 @@ min_{N∈Ψ} tr(Nρ)``.  By Lemma 6.1 this is equivalent to checking, for each
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -20,6 +21,8 @@ import numpy as np
 
 from ..linalg.constants import NUMERIC_TOL
 from ..linalg.operators import loewner_le
+from ..telemetry.metrics import METRICS
+from ..telemetry.tracing import span
 from .assertion import QuantumAssertion
 from .predicate import QuantumPredicate
 from .sdp import GapResult, max_min_expectation_gap
@@ -75,7 +78,41 @@ def leq_inf(
     independently.  The singleton case is decided exactly by a Löwner
     comparison; the general case by the certified primal/dual bounds on the
     worst-case expectation gap.
+
+    Every decision is telemetered: a span tagged ``region="order-decision"``
+    times the call, and the ``order.decisions{holds=...}`` counter plus the
+    ``order.latency_seconds`` histogram record the outcome (the per-predicate
+    diagnostics stay on :attr:`OrderCheckResult.details` — library code never
+    writes to stdout; the CLI decides rendering).
     """
+    start = time.perf_counter()
+    with span(
+        "leq-inf",
+        region="order-decision",
+        theta_predicates=len(theta.predicates),
+        psi_predicates=len(psi.predicates),
+        singleton=theta.is_singleton(),
+    ) as decision_span:
+        result = _leq_inf_impl(theta, psi, epsilon, **solver_options)
+        decision_span.set_tag("holds", result.holds)
+    METRICS.counter("order.decisions", holds=result.holds).inc()
+    METRICS.histogram("order.latency_seconds").observe(time.perf_counter() - start)
+    return result
+
+
+def _timed_gap(theta: QuantumAssertion, psi_predicate: QuantumPredicate, **solver_options) -> GapResult:
+    """Run one certified SDP gap computation under an ``order-decision`` span."""
+    with span("sdp-gap", region="order-decision", predicates=len(theta.predicates)):
+        return max_min_expectation_gap(theta.matrices, psi_predicate.matrix, **solver_options)
+
+
+def _leq_inf_impl(
+    theta: QuantumAssertion,
+    psi: QuantumAssertion,
+    epsilon: float,
+    **solver_options,
+) -> OrderCheckResult:
+    """The undecorated decision procedure behind :func:`leq_inf`."""
     details: List[str] = []
     for index, psi_predicate in enumerate(psi.predicates):
         if theta.is_singleton():
@@ -83,7 +120,7 @@ def leq_inf(
             if loewner_le(theta_predicate.matrix, psi_predicate.matrix, atol=epsilon):
                 details.append(f"N_{index}: Löwner comparison holds")
                 continue
-            gap = max_min_expectation_gap(theta.matrices, psi_predicate.matrix, **solver_options)
+            gap = _timed_gap(theta, psi_predicate, **solver_options)
             return OrderCheckResult(
                 holds=False,
                 violating_index=index,
@@ -92,7 +129,7 @@ def leq_inf(
                 details=details + [f"N_{index}: Löwner comparison fails (gap ≈ {gap.upper:.3e})"],
             )
 
-        gap = max_min_expectation_gap(theta.matrices, psi_predicate.matrix, **solver_options)
+        gap = _timed_gap(theta, psi_predicate, **solver_options)
         if gap.upper <= epsilon:
             details.append(f"N_{index}: dual certificate {gap.upper:.3e} ≤ ε")
             continue

@@ -58,6 +58,7 @@ from ..superop.compare import deduplicate
 from ..superop.kraus import SuperOperator
 from ..superop.local import LocalSuperOperator
 from ..superop.transfer import TransferSet, TransferSuperOperator
+from ..telemetry.tracing import span
 from .schedulers import ConstantScheduler, Scheduler, constant_schedulers, sample_schedulers
 
 __all__ = [
@@ -140,15 +141,16 @@ def measurement_superoperators(statement, register: QubitRegister, lifting: str 
     eagerly promoted to the full register as Kraus-form maps.
     """
     _check_lifting(lifting)
-    if lifting == "local":
-        positions = register.positions(statement.qubits)
-        return (
-            LocalSuperOperator.from_projector(statement.measurement.p0, positions, register.num_qubits),
-            LocalSuperOperator.from_projector(statement.measurement.p1, positions, register.num_qubits),
-        )
-    p0 = register.embed(statement.measurement.p0, statement.qubits)
-    p1 = register.embed(statement.measurement.p1, statement.qubits)
-    return SuperOperator([p0], validate=False), SuperOperator([p1], validate=False)
+    with span("measurement-pair", region="denotation", lifting=lifting):
+        if lifting == "local":
+            positions = register.positions(statement.qubits)
+            return (
+                LocalSuperOperator.from_projector(statement.measurement.p0, positions, register.num_qubits),
+                LocalSuperOperator.from_projector(statement.measurement.p1, positions, register.num_qubits),
+            )
+        p0 = register.embed(statement.measurement.p0, statement.qubits)
+        p1 = register.embed(statement.measurement.p1, statement.qubits)
+        return SuperOperator([p0], validate=False), SuperOperator([p1], validate=False)
 
 
 def _measurement_transfer(statement, register: QubitRegister, lifting: str = "dense"):
@@ -160,12 +162,13 @@ def _measurement_transfer(statement, register: QubitRegister, lifting: str = "de
     """
     if lifting == "local":
         return measurement_superoperators(statement, register, lifting="local")
-    p0 = register.embed(statement.measurement.p0, statement.qubits)
-    p1 = register.embed(statement.measurement.p1, statement.qubits)
-    return (
-        TransferSuperOperator.from_kraus([p0]),
-        TransferSuperOperator.from_kraus([p1]),
-    )
+    with span("measurement-pair", region="denotation", lifting=lifting, transfer=True):
+        p0 = register.embed(statement.measurement.p0, statement.qubits)
+        p1 = register.embed(statement.measurement.p1, statement.qubits)
+        return (
+            TransferSuperOperator.from_kraus([p0]),
+            TransferSuperOperator.from_kraus([p1]),
+        )
 
 
 def measurement_pair(statement, register: QubitRegister, backend: str = "kraus", lifting: str = "dense"):
@@ -192,12 +195,13 @@ def initializer_channel(
     the dispatch of :func:`measurement_pair`.
     """
     _check_lifting(lifting)
-    if lifting == "local":
-        return LocalSuperOperator.initializer(register.positions(qubits), register.num_qubits)
-    channel = SuperOperator.initializer(len(qubits)).embed(qubits, register)
-    if backend == "transfer":
-        channel = TransferSuperOperator.from_superoperator(channel)
-    return channel
+    with span("initializer", region="denotation", backend=backend, lifting=lifting):
+        if lifting == "local":
+            return LocalSuperOperator.initializer(register.positions(qubits), register.num_qubits)
+        channel = SuperOperator.initializer(len(qubits)).embed(qubits, register)
+        if backend == "transfer":
+            channel = TransferSuperOperator.from_superoperator(channel)
+        return channel
 
 
 def _local_statement_channel(statement, register: QubitRegister) -> LocalSuperOperator:
@@ -247,25 +251,36 @@ def denotation(
     missing = set(program.quantum_variables()) - set(register.names)
     if missing:
         raise SemanticsError(f"register does not contain program variables {sorted(missing)}")
-    options_sig = options_signature(options)
-    cache_key = None
-    if options_sig is not None:
-        cache_key = (node_digest(program), register_signature(register), options_sig)
-        cached = RESULT_CACHE.lookup("denotation", cache_key)
-        if cached is not MISS:
-            return list(cached)
-    if options.backend == "transfer":
-        transfer_maps = _denote_transfer(program, register, options)
-        if options.dedup:
-            transfer_maps = transfer_maps.deduplicated()
-        result = transfer_maps.operators()
-    else:
-        result = _denote(program, register, options)
-        if options.dedup:
-            result = deduplicate(result)
-    if cache_key is not None:
-        RESULT_CACHE.store("denotation", cache_key, tuple(result))
-    return list(result)
+    with span(
+        "denotation",
+        region="denotation",
+        node=type(program).__name__,
+        backend=options.backend,
+        lifting=options.lifting,
+        num_qubits=register.num_qubits,
+    ) as denotation_span:
+        options_sig = options_signature(options)
+        cache_key = None
+        if options_sig is not None:
+            cache_key = (node_digest(program), register_signature(register), options_sig)
+            cached = RESULT_CACHE.lookup("denotation", cache_key)
+            if cached is not MISS:
+                denotation_span.set_tag("cache", "hit")
+                return list(cached)
+        denotation_span.set_tag("cache", "miss" if cache_key is not None else "bypass")
+        if options.backend == "transfer":
+            transfer_maps = _denote_transfer(program, register, options)
+            if options.dedup:
+                transfer_maps = transfer_maps.deduplicated()
+            result = transfer_maps.operators()
+        else:
+            result = _denote(program, register, options)
+            if options.dedup:
+                result = deduplicate(result)
+        if cache_key is not None:
+            RESULT_CACHE.store("denotation", cache_key, tuple(result))
+        denotation_span.set_tag("set_size", len(result))
+        return list(result)
 
 
 def apply_denotation(
@@ -315,13 +330,19 @@ def _denote(program: Program, register: QubitRegister, options: DenotationOption
         ]
         for statement in program.statements:
             step = _denote(statement, register, options)
-            current = [
-                _maybe_simplify(later.compose(earlier), options)
-                for earlier in current
-                for later in step
-            ]
-            if options.dedup and len(current) > 1:
-                current = deduplicate(current)
+            with span(
+                "seq-compose",
+                region="denotation",
+                statement=type(statement).__name__,
+                set_size=len(current) * len(step),
+            ):
+                current = [
+                    _maybe_simplify(later.compose(earlier), options)
+                    for earlier in current
+                    for later in step
+                ]
+                if options.dedup and len(current) > 1:
+                    current = deduplicate(current)
         return current
     if isinstance(program, NDet):
         maps: List[SuperOperator] = []
@@ -388,12 +409,25 @@ def _denote_transfer(
             if local and isinstance(statement, (Skip, Init, Unitary)):
                 # Deferred lifting: basic statements never materialise their
                 # full-register transfer matrix, they contract into the stack.
-                current = _local_transfer_step(current, statement, register)
+                with span(
+                    "seq-compose",
+                    region="denotation",
+                    statement=type(statement).__name__,
+                    set_size=len(current),
+                    local=True,
+                ):
+                    current = _local_transfer_step(current, statement, register)
                 continue
             step = _denote_transfer(statement, register, options)
-            current = step.compose_pairwise(current)
-            if options.dedup and len(current) > 1:
-                current = current.deduplicated()
+            with span(
+                "seq-compose",
+                region="denotation",
+                statement=type(statement).__name__,
+                set_size=len(current) * len(step),
+            ):
+                current = step.compose_pairwise(current)
+                if options.dedup and len(current) > 1:
+                    current = current.deduplicated()
         return current
     if isinstance(program, NDet):
         pieces = [_denote_transfer(branch, register, options) for branch in program.branches]
@@ -489,11 +523,18 @@ def _explore_loop(program, register, body_maps, options: DenotationOptions) -> L
     else:
         prefix_cache = {} if len(schedulers) > 1 else None
     results = []
-    for scheduler in schedulers:
-        iterates = loop_iterates(
-            program, register, body_maps, scheduler, options, prefix_cache=prefix_cache
-        )
-        results.append(iterates[-1])
+    with span(
+        "loop",
+        region="loop",
+        schedulers=len(schedulers),
+        body_maps=len(body_maps),
+        num_qubits=register.num_qubits,
+    ):
+        for scheduler in schedulers:
+            iterates = loop_iterates(
+                program, register, body_maps, scheduler, options, prefix_cache=prefix_cache
+            )
+            results.append(iterates[-1])
     return results
 
 
@@ -551,42 +592,44 @@ def loop_iterates(
             identity = SuperOperator.identity(register.dimension)
 
     iterates: List = []
-    # step_k = η_k ∘ P¹ is iteration-independent; build each at most once.
-    steps: Dict[int, object] = {}
-    # prefix_i = η_i ∘ P¹ ∘ … ∘ η_1 ∘ P¹ ; the i = 0 prefix is the identity map.
-    choices: Tuple[int, ...] = ()
-    if prefix_cache is not None:
-        prefix = prefix_cache.setdefault(choices, identity)
-    else:
-        prefix = identity
-    total = p0.compose(prefix)
-    iterates.append(total)
-    for iteration in range(1, options.max_iterations + 1):
-        choice = scheduler.select(iteration, len(body_maps))
-        choices = choices + (choice,)
-        cached = prefix_cache.get(choices) if prefix_cache is not None else None
-        if cached is None:
-            step = steps.get(choice)
-            if step is None:
-                step = steps.setdefault(choice, body_maps[choice].compose(p1))
-            cached = _maybe_simplify(step.compose(prefix), options)
-            if prefix_cache is not None:
-                prefix_cache[choices] = cached
-        prefix = cached
-        increment = p0.compose(prefix)
-        new_total = _maybe_simplify(total + increment, options)
-        iterates.append(new_total)
-        if transfer_mode:
-            gap = float(np.abs(new_total.matrix - total.matrix).sum())
+    with span("loop-chain", region="loop", transfer=transfer_mode) as chain_span:
+        # step_k = η_k ∘ P¹ is iteration-independent; build each at most once.
+        steps: Dict[int, object] = {}
+        # prefix_i = η_i ∘ P¹ ∘ … ∘ η_1 ∘ P¹ ; the i = 0 prefix is the identity map.
+        choices: Tuple[int, ...] = ()
+        if prefix_cache is not None:
+            prefix = prefix_cache.setdefault(choices, identity)
         else:
-            gap = float(np.abs(new_total.choi() - total.choi()).sum())
-        total = new_total
-        if gap < options.convergence_tolerance:
-            break
-        # Once the prefix itself is (numerically) zero the loop can never
-        # produce further contributions, e.g. for almost-surely terminating loops.
-        if prefix.probability_bound() < options.convergence_tolerance:
-            break
+            prefix = identity
+        total = p0.compose(prefix)
+        iterates.append(total)
+        for iteration in range(1, options.max_iterations + 1):
+            choice = scheduler.select(iteration, len(body_maps))
+            choices = choices + (choice,)
+            cached = prefix_cache.get(choices) if prefix_cache is not None else None
+            if cached is None:
+                step = steps.get(choice)
+                if step is None:
+                    step = steps.setdefault(choice, body_maps[choice].compose(p1))
+                cached = _maybe_simplify(step.compose(prefix), options)
+                if prefix_cache is not None:
+                    prefix_cache[choices] = cached
+            prefix = cached
+            increment = p0.compose(prefix)
+            new_total = _maybe_simplify(total + increment, options)
+            iterates.append(new_total)
+            if transfer_mode:
+                gap = float(np.abs(new_total.matrix - total.matrix).sum())
+            else:
+                gap = float(np.abs(new_total.choi() - total.choi()).sum())
+            total = new_total
+            if gap < options.convergence_tolerance:
+                break
+            # Once the prefix itself is (numerically) zero the loop can never
+            # produce further contributions, e.g. for almost-surely terminating loops.
+            if prefix.probability_bound() < options.convergence_tolerance:
+                break
+        chain_span.set_tag("iterations", len(iterates))
     return iterates
 
 

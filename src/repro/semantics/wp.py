@@ -31,6 +31,7 @@ from ..linalg.tensor import apply_local_conjugation
 from ..predicates.assertion import QuantumAssertion
 from ..predicates.predicate import QuantumPredicate, clip_to_predicate
 from ..registers import QubitRegister
+from ..telemetry.tracing import span
 from .denotational import (
     BACKENDS,
     _check_lifting,
@@ -106,10 +107,18 @@ def _transform(
         raise SemanticsError(
             "postcondition dimension does not match the register; embed the assertion first"
         )
-    predicates: List[QuantumPredicate] = []
-    for predicate in postcondition.predicates:
-        predicates.extend(_xp_single(program, predicate, register, options, liberal))
-    return QuantumAssertion(predicates)
+    with span(
+        "wp" if not liberal else "wlp",
+        region="wp",
+        backend=options.backend,
+        lifting=options.lifting,
+        num_qubits=register.num_qubits,
+        predicates=len(postcondition.predicates),
+    ):
+        predicates: List[QuantumPredicate] = []
+        for predicate in postcondition.predicates:
+            predicates.extend(_xp_single(program, predicate, register, options, liberal))
+        return QuantumAssertion(predicates)
 
 
 def _xp_single(
@@ -226,24 +235,45 @@ def _xp_while(
 
     identity = np.eye(register.dimension, dtype=complex)
     results: List[QuantumPredicate] = []
-    for scheduler in schedulers:
-        if liberal:
-            current = identity.copy()
-        else:
-            current = np.zeros_like(identity)
-        previous = None
-        for backward_index in range(options.max_iterations, 0, -1):
-            choice = scheduler.select(backward_index, len(body_choices))
-            body_channel = body_choices[choice]
-            inner = body_channel.apply_adjoint(current)
-            if liberal:
-                inner = inner + identity - body_channel.apply_adjoint(identity)
-            current = p0.apply(post.matrix) + p1.apply(inner)
-            if previous is not None and np.abs(current - previous).max() < options.convergence_tolerance:
-                break
-            previous = current.copy()
-        results.append(QuantumPredicate(clip_to_predicate(current), validate=False))
+    with span("wp-loop", region="wp", schedulers=len(schedulers), liberal=liberal):
+        results.extend(
+            _xp_while_scheduler(
+                program, post, register, options, liberal, p0, p1, body_choices, scheduler, identity
+            )
+            for scheduler in schedulers
+        )
     return _dedup(results)
+
+
+def _xp_while_scheduler(
+    program: While,
+    post: QuantumPredicate,
+    register: QubitRegister,
+    options: WpOptions,
+    liberal: bool,
+    p0,
+    p1,
+    body_choices: List,
+    scheduler: Scheduler,
+    identity: np.ndarray,
+) -> QuantumPredicate:
+    """Evaluate the backward Fig. 5 sequence of one loop under one scheduler."""
+    if liberal:
+        current = identity.copy()
+    else:
+        current = np.zeros_like(identity)
+    previous = None
+    for backward_index in range(options.max_iterations, 0, -1):
+        choice = scheduler.select(backward_index, len(body_choices))
+        body_channel = body_choices[choice]
+        inner = body_channel.apply_adjoint(current)
+        if liberal:
+            inner = inner + identity - body_channel.apply_adjoint(identity)
+        current = p0.apply(post.matrix) + p1.apply(inner)
+        if previous is not None and np.abs(current - previous).max() < options.convergence_tolerance:
+            break
+        previous = current.copy()
+    return QuantumPredicate(clip_to_predicate(current), validate=False)
 
 
 def _body_denotations(program: While, register: QubitRegister, options: WpOptions) -> List:

@@ -22,6 +22,7 @@ from typing import Iterable, List, Sequence
 import numpy as np
 
 from ..linalg.constants import ATOL, ORDER_ATOL
+from ..telemetry.tracing import span
 
 __all__ = [
     "superoperator_equal",
@@ -70,20 +71,21 @@ def deduplicate(maps: Iterable, atol: float = ATOL) -> list:
     maps = list(maps)
     if len(maps) <= 1:
         return maps
-    if _mixed_dimensions(maps):
-        # Mixed dimensions cannot share a signature stack; fall back to pairwise.
-        unique: List = []
-        for candidate in maps:
-            if not any(candidate.equals(existing, atol=atol) for existing in unique):
-                unique.append(candidate)
-        return unique
-    signatures = _signatures(maps)
-    keep: List[int] = []
-    for index in range(len(maps)):
-        if keep and bool(_row_matches(signatures[keep], signatures[index], atol).any()):
-            continue
-        keep.append(index)
-    return [maps[index] for index in keep]
+    with span("deduplicate", region="compare", set_size=len(maps)):
+        if _mixed_dimensions(maps):
+            # Mixed dimensions cannot share a signature stack; fall back to pairwise.
+            unique: List = []
+            for candidate in maps:
+                if not any(candidate.equals(existing, atol=atol) for existing in unique):
+                    unique.append(candidate)
+            return unique
+        signatures = _signatures(maps)
+        keep: List[int] = []
+        for index in range(len(maps)):
+            if keep and bool(_row_matches(signatures[keep], signatures[index], atol).any()):
+                continue
+            keep.append(index)
+        return [maps[index] for index in keep]
 
 
 def set_subset(smaller: Iterable, larger: Iterable, atol: float = ATOL) -> bool:
@@ -94,6 +96,12 @@ def set_subset(smaller: Iterable, larger: Iterable, atol: float = ATOL) -> bool:
         return True
     if not larger:
         return False
+    with span("set-subset", region="compare", smaller=len(smaller), larger=len(larger)):
+        return _set_subset_impl(smaller, larger, atol)
+
+
+def _set_subset_impl(smaller: List, larger: List, atol: float) -> bool:
+    """The unspanned body of :func:`set_subset`."""
     if _mixed_dimensions(smaller) or _mixed_dimensions(larger):
         # Mixed dimensions cannot share a signature stack; fall back to pairwise
         # (equals already returns False across dimensions).
