@@ -47,6 +47,12 @@ performance options:
 
   Both switches are semantics-preserving: all four combinations agree to the
   library tolerance on every shipped case study.
+
+  --jobs N            shard scheduler exploration, pairwise products and the
+                      prover's per-predicate fan-out across N worker
+                      processes (default 1 = serial, 0 = one per CPU core);
+                      results and their ordering are identical to a serial
+                      run, small work sizes fall back to serial automatically
 """
 
 
@@ -87,6 +93,14 @@ def build_arg_parser() -> argparse.ArgumentParser:
         default="dense",
         help="operator promotion strategy: dense np.kron embedding or "
         "structure-aware local contraction (default: dense)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the parallel execution layer "
+        "(default: 1 = serial, 0 = one per CPU core)",
     )
     parser.add_argument(
         "--script",
@@ -147,16 +161,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         configure_tracing(enabled=True)
         get_tracer().clear()
 
-    session = Session(
-        mode=CorrectnessMode(arguments.mode),
-        options=ProverOptions(
-            epsilon=arguments.epsilon,
-            backend=arguments.backend,
-            lifting=arguments.lifting,
-        ),
-        base_path=source_path.parent,
-    )
     try:
+        session = Session(
+            mode=CorrectnessMode(arguments.mode),
+            options=ProverOptions(
+                epsilon=arguments.epsilon,
+                backend=arguments.backend,
+                lifting=arguments.lifting,
+                parallelism=arguments.jobs,
+            ),
+            base_path=source_path.parent,
+        )
         for definition in arguments.operator:
             name, _, path = definition.partition("=")
             if not name or not path:

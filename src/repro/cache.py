@@ -76,6 +76,7 @@ class ResultCache:
         self._maxsize = int(maxsize)
         self._enabled = True
         self._registry = registry if registry is not None else MetricsRegistry()
+        self._recording: Optional[list] = None
 
     # ------------------------------------------------------------------ access
     def lookup(self, region: str, key: Hashable):
@@ -111,17 +112,78 @@ class ResultCache:
         with self._lock:
             self._data[full_key] = value
             self._data.move_to_end(full_key)
+            if self._recording is not None:
+                self._recording.append((region, key, value))
             while len(self._data) > self._maxsize:
                 evicted_key, _ = self._data.popitem(last=False)
                 evicted_regions.append(evicted_key[0])
         for evicted_region in evicted_regions:
             self._registry.counter("cache.evictions", region=evicted_region).inc()
 
+    def get_or_set(self, region: str, key: Hashable, default: Any):
+        """Return the cached value for ``(region, key)``, inserting ``default`` on a miss.
+
+        The lookup and the insertion happen under a *single* lock hold, so
+        concurrent callers cannot interleave duplicate inserts between a
+        :meth:`lookup` and a :meth:`store`, and each call bumps exactly one of
+        the hit/miss counters.  A ``key`` of ``None`` (uncacheable) returns
+        ``default`` without touching the cache or the counters.
+        """
+        if key is None or not self._enabled:
+            return default
+        full_key = (region, key)
+        evicted_regions = []
+        with self._lock:
+            if full_key in self._data:
+                self._data.move_to_end(full_key)
+                value = self._data[full_key]
+                hit = True
+            else:
+                value = default
+                self._data[full_key] = default
+                if self._recording is not None:
+                    self._recording.append((region, key, default))
+                hit = False
+                while len(self._data) > self._maxsize:
+                    evicted_key, _ = self._data.popitem(last=False)
+                    evicted_regions.append(evicted_key[0])
+        if hit:
+            self._registry.counter("cache.hits", region=region).inc()
+        else:
+            self._registry.counter("cache.misses", region=region).inc()
+        for evicted_region in evicted_regions:
+            self._registry.counter("cache.evictions", region=evicted_region).inc()
+        return value
+
+    # -------------------------------------------------------------- recording
+    def begin_recording(self) -> None:
+        """Start recording ``(region, key, value)`` triples of every insertion.
+
+        Used by the worker side of :mod:`repro.parallel` to capture the cache
+        entries a shard computed, so the parent process can replay them as
+        deltas into its own cache.
+        """
+        with self._lock:
+            self._recording = []
+
+    def take_recording(self) -> list:
+        """Stop recording and return the captured ``(region, key, value)`` triples."""
+        with self._lock:
+            recorded = self._recording or []
+            self._recording = None
+        return recorded
+
     # -------------------------------------------------------------- management
     @property
     def registry(self) -> MetricsRegistry:
         """The metrics registry holding this cache's counters."""
         return self._registry
+
+    @property
+    def enabled(self) -> bool:
+        """Whether lookups and insertions are currently active."""
+        with self._lock:
+            return self._enabled
 
     def stats(self) -> Dict[str, Any]:
         """Return a snapshot of size, capacity and per-region hit/miss/eviction counts.

@@ -253,11 +253,14 @@ def register_signature(register) -> Tuple[str, ...]:
 def options_signature(options) -> Optional[tuple]:
     """Return a hashable signature of a dataclass of options, or ``None``.
 
-    The signature covers every field by ``repr``.  A ``schedulers`` field is
-    special-cased: explicit scheduler objects carry arbitrary user state the
-    cache cannot canonicalise, so any non-``None`` value makes the whole
-    computation *uncacheable* (returns ``None``); the default policy
-    (``schedulers=None``, deterministic seeded sampling) stays cacheable.
+    The signature covers every field by ``repr``.  Two fields are
+    special-cased: explicit ``schedulers`` objects carry arbitrary user state
+    the cache cannot canonicalise, so any non-``None`` value makes the whole
+    computation *uncacheable* (returns ``None``) while the default policy
+    (``schedulers=None``, deterministic seeded sampling) stays cacheable; and
+    ``parallelism`` is *excluded* — it selects an execution strategy, not a
+    semantics, and serial/parallel runs produce identical results by
+    construction, so they must share cache entries.
     """
     parts: List[tuple] = [("type", type(options).__name__)]
     for field in dataclass_fields(options):
@@ -265,6 +268,8 @@ def options_signature(options) -> Optional[tuple]:
         if field.name == "schedulers":
             if value is not None:
                 return None
+            continue
+        if field.name == "parallelism":
             continue
         parts.append((field.name, repr(value)))
     return tuple(parts)

@@ -1,0 +1,50 @@
+"""Opt-in multiprocessing execution layer for the verification pipeline.
+
+The semantics of the paper is embarrassingly parallel along three axes — one
+denotation chain per scheduler, one Kraus/transfer product per branch pair,
+one (Meas) instance per postcondition predicate — and this package shards
+exactly those axes across a process pool when ``parallelism > 1`` is set on
+:class:`~repro.semantics.denotational.DenotationOptions`,
+:class:`~repro.semantics.wp.WpOptions` or
+:class:`~repro.logic.prover.ProverOptions` (CLI: ``--jobs``).
+
+Layout:
+
+* :mod:`~repro.parallel.pool` — lazy, process-lifetime worker pools and the
+  ``in_worker`` nesting guard;
+* :mod:`~repro.parallel.executor` — ordered dispatch (:func:`parallel_map`)
+  with the serial-fallback rules;
+* :mod:`~repro.parallel.worker` — the module-level shard functions workers
+  run;
+* :mod:`~repro.parallel.state` — capture of worker-side cache/metrics/trace
+  deltas and their merge back into the parent.
+
+Parallel execution is an execution *strategy*, never a semantics: every
+sharded call site preserves the serial result order exactly, falls back to
+the serial code path whenever dispatch is impossible or unprofitable, and
+``parallelism`` is excluded from cache signatures so serial and parallel
+runs share cache entries.
+"""
+
+from .executor import (
+    MIN_PAIRWISE_PRODUCTS,
+    MIN_WORK_DIMENSION,
+    effective_jobs,
+    parallel_map,
+    shard_evenly,
+)
+from .pool import get_pool, in_worker, shutdown_pools
+from .state import capture_worker_state, merge_worker_state
+
+__all__ = [
+    "MIN_PAIRWISE_PRODUCTS",
+    "MIN_WORK_DIMENSION",
+    "effective_jobs",
+    "parallel_map",
+    "shard_evenly",
+    "get_pool",
+    "in_worker",
+    "shutdown_pools",
+    "capture_worker_state",
+    "merge_worker_state",
+]

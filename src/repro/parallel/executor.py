@@ -1,0 +1,124 @@
+"""Ordered parallel dispatch with automatic serial fallback.
+
+:func:`parallel_map` is the single entry point every sharded call site uses:
+it ships ``(function, payload)`` tasks to a worker pool, merges each worker's
+state delta back into this process **in payload order**, and returns the
+results in payload order — or returns ``None`` to tell the caller to run the
+work serially.  Serial fallback triggers when:
+
+* the effective job count is 1 (``parallelism=1``, the default);
+* the caller already runs inside a pool worker (no nested pools);
+* there are fewer than two payloads, or the per-item work size reported by
+  the caller is below :data:`MIN_WORK_DIMENSION` (dispatch overhead would
+  dominate);
+* any payload fails to pickle (e.g. explicit ``FunctionScheduler`` objects
+  closing over lambdas).
+
+Because the fallback path *is* the pre-existing serial code, parallel
+execution can never change a result — only where it is computed — and the
+caller keeps full control of result ordering (shards are contiguous slices,
+results are flattened back in slice order).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from ..cache import RESULT_CACHE
+from ..telemetry.metrics import METRICS
+from ..telemetry.tracing import TRACER
+from .pool import get_pool, in_worker
+from .state import merge_worker_state
+from .worker import execute
+
+__all__ = [
+    "MIN_WORK_DIMENSION",
+    "MIN_PAIRWISE_PRODUCTS",
+    "effective_jobs",
+    "shard_evenly",
+    "parallel_map",
+]
+
+#: Work sizes (register dimension) below which dispatch is never worthwhile:
+#: a 2-qubit (dimension-4) problem completes faster than a task round-trip.
+MIN_WORK_DIMENSION = 4
+
+#: Minimum number of pairwise products before a Seq composition is sharded.
+MIN_PAIRWISE_PRODUCTS = 4
+
+
+def effective_jobs(parallelism: int) -> int:
+    """Resolve a ``parallelism`` option value to a concrete worker count.
+
+    ``0`` means "one worker per available CPU core" (scheduling affinity
+    respected where the platform exposes it); any other value is used as-is.
+    """
+    parallelism = int(parallelism)
+    if parallelism != 0:
+        return parallelism
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def shard_evenly(items: Sequence, shards: int) -> List:
+    """Split ``items`` into at most ``shards`` contiguous, non-empty slices.
+
+    Contiguity is what preserves serial result ordering: flattening the
+    per-shard results in shard order reproduces the item order exactly.
+    Works on lists and on numpy stacks alike (both support slicing).
+    """
+    count = len(items)
+    shards = max(1, min(int(shards), count))
+    base, extra = divmod(count, shards)
+    slices = []
+    start = 0
+    for index in range(shards):
+        stop = start + base + (1 if index < extra else 0)
+        slices.append(items[start:stop])
+        start = stop
+    return slices
+
+
+def parallel_map(
+    function: Callable,
+    payloads: Sequence[Tuple],
+    jobs: int,
+    work_size: Optional[int] = None,
+) -> Optional[List[Any]]:
+    """Run ``function(*payload)`` for every payload on a worker pool, in order.
+
+    Returns the list of results in payload order after merging every worker's
+    state delta (cache entries, metric increments, span subtrees) into this
+    process — or ``None`` when any serial-fallback rule applies, in which case
+    the caller must run its own serial path.  Exceptions raised inside a
+    worker propagate to the caller exactly as the serial path would raise
+    them.
+    """
+    jobs = effective_jobs(jobs)
+    if jobs <= 1 or in_worker():
+        return None
+    if len(payloads) < 2:
+        return None
+    if work_size is not None and work_size < MIN_WORK_DIMENSION:
+        return None
+    tasks = [
+        (function, payload, TRACER.enabled, RESULT_CACHE.enabled)
+        for payload in payloads
+    ]
+    try:
+        pickle.dumps(tasks)
+    except Exception:
+        return None
+    pool = get_pool(jobs)
+    outcomes = pool.map(execute, tasks)
+    METRICS.counter("parallel.dispatches", function=function.__name__).inc()
+    METRICS.counter("parallel.tasks", function=function.__name__).inc(len(tasks))
+    results = []
+    for result, delta in outcomes:
+        merge_worker_state(delta)
+        results.append(result)
+    return results

@@ -1,0 +1,82 @@
+"""Worker-pool plumbing for the opt-in multiprocessing execution layer.
+
+Pools are created lazily, keyed by worker count, and kept alive for the life
+of the process (fork start-up is cheap but not free; the sharded call sites
+fire many small batches).  The ``fork`` start method is preferred — workers
+inherit the parent's imported modules and program objects arrive by pickle —
+falling back to the platform default where ``fork`` is unavailable.
+
+Two invariants the rest of :mod:`repro.parallel` relies on:
+
+* :func:`in_worker` is ``True`` inside pool processes, so sharded call sites
+  never open a nested pool (a worker always runs its shard serially);
+* each worker's tracer is reset after the fork (the parent's thread-local
+  open-span stack is copied by ``fork`` and would otherwise corrupt the
+  worker's span subtrees).
+
+Pools must only be created from single-threaded parents or around
+lock-free points: ``fork`` duplicates held locks, and a child forked while
+another thread holds e.g. the result-cache lock would deadlock on it.  The
+shipped call sites dispatch from the main thread outside any library lock.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import threading
+from typing import Dict
+
+__all__ = ["get_pool", "in_worker", "shutdown_pools"]
+
+_POOLS: Dict[int, "multiprocessing.pool.Pool"] = {}
+_POOLS_LOCK = threading.Lock()
+_IN_WORKER = False
+
+
+def in_worker() -> bool:
+    """Return ``True`` when called inside a pool worker process."""
+    return _IN_WORKER
+
+
+def _initialize_worker() -> None:
+    """Per-worker initialiser: mark the process and reset inherited trace state."""
+    global _IN_WORKER
+    _IN_WORKER = True
+    from ..telemetry.tracing import TRACER
+
+    TRACER.reset_after_fork()
+
+
+def _context():
+    """Return the multiprocessing context (``fork`` preferred)."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return multiprocessing.get_context()
+
+
+def get_pool(jobs: int) -> "multiprocessing.pool.Pool":
+    """Return (creating and caching on first use) the pool with ``jobs`` workers."""
+    jobs = int(jobs)
+    if jobs < 2:
+        raise ValueError("pools are only created for jobs >= 2; run serially instead")
+    with _POOLS_LOCK:
+        pool = _POOLS.get(jobs)
+        if pool is None:
+            pool = _context().Pool(processes=jobs, initializer=_initialize_worker)
+            _POOLS[jobs] = pool
+        return pool
+
+
+def shutdown_pools() -> None:
+    """Terminate and discard every cached pool (registered at interpreter exit)."""
+    with _POOLS_LOCK:
+        pools = list(_POOLS.values())
+        _POOLS.clear()
+    for pool in pools:
+        pool.terminate()
+        pool.join()
+
+
+atexit.register(shutdown_pools)

@@ -1,0 +1,100 @@
+"""Worker-side state capture and parent-side merge for parallel shards.
+
+A shard executed in a worker process mutates three pieces of process-wide
+state that would otherwise be lost when the worker's memory is discarded:
+
+* the content-addressed :data:`repro.cache.RESULT_CACHE` (new entries),
+* the :data:`repro.telemetry.METRICS` registry (counter/gauge/histogram
+  activity),
+* the :data:`repro.telemetry.tracing.TRACER` (finished span subtrees).
+
+:func:`capture_worker_state` wraps one shard execution and produces a
+*delta* — cache insertions as ``(region, key, value)`` triples, metric
+activity as a :meth:`~repro.telemetry.metrics.MetricsRegistry.diff_states`
+delta, and span subtrees as nested dicts — and :func:`merge_worker_state`
+replays that delta into the parent process, so ``cache_stats()``,
+``metrics_snapshot()`` and the trace tree all account for work done in
+workers exactly as if it had run serially.  Span subtrees are re-parented
+under whatever span is open at the merge point (the dispatching span of the
+fan-out), tagged with the worker's pid.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Tuple
+
+from ..cache import RESULT_CACHE
+from ..telemetry.metrics import METRICS, MetricsRegistry
+from ..telemetry.tracing import TRACER, span_tree_to_dict
+
+__all__ = ["capture_worker_state", "merge_worker_state"]
+
+
+def _picklable_entries(entries: List[Tuple[str, Any, Any]]) -> List[Tuple[str, Any, Any]]:
+    """Filter the recorded cache entries down to those that survive pickling.
+
+    Cache values are library objects (super-operator sets, predicates, proof
+    annotations) and normally pickle fine; an unpicklable entry is silently
+    dropped from the delta — the parent simply recomputes it on demand.
+    """
+    shippable = []
+    for entry in entries:
+        try:
+            pickle.dumps(entry)
+        except Exception:
+            continue
+        shippable.append(entry)
+    return shippable
+
+
+@contextmanager
+def capture_worker_state(trace_enabled: bool, cache_enabled: bool) -> Iterator[Dict[str, Any]]:
+    """Context manager recording the state delta of one worker-side shard.
+
+    Configures the worker's tracer/cache to mirror the parent's flags (pool
+    workers are long-lived, so flags current at fork time can be stale), then
+    captures everything the shard inserts or records.  On exit the yielded
+    holder dict contains the delta under ``"delta"``.
+    """
+    TRACER.configure(enabled=trace_enabled)
+    RESULT_CACHE.configure(enabled=cache_enabled)
+    RESULT_CACHE.begin_recording()
+    metrics_before = METRICS.export_state()
+    root_mark = TRACER.root_mark()
+    holder: Dict[str, Any] = {}
+    try:
+        yield holder
+    finally:
+        entries = RESULT_CACHE.take_recording()
+        metrics_delta = MetricsRegistry.diff_states(metrics_before, METRICS.export_state())
+        spans = (
+            [span_tree_to_dict(root) for root in TRACER.roots_since(root_mark)]
+            if trace_enabled
+            else []
+        )
+        holder["delta"] = {
+            "cache": _picklable_entries(entries),
+            "metrics": metrics_delta,
+            "spans": spans,
+            "pid": os.getpid(),
+        }
+
+
+def merge_worker_state(delta: Dict[str, Any]) -> None:
+    """Replay one worker's state delta into this (parent) process.
+
+    Cache entries are stored (digest-addressed, so replays are idempotent),
+    metric increments are absorbed into the shared registry, and span
+    subtrees are adopted under the currently open span, tagged with the
+    worker pid they ran in.
+    """
+    for region, key, value in delta["cache"]:
+        RESULT_CACHE.store(region, key, value)
+    metrics_delta = delta["metrics"]
+    if metrics_delta["counters"] or metrics_delta["gauges"] or metrics_delta["histograms"]:
+        METRICS.absorb_state(metrics_delta)
+    if delta["spans"]:
+        TRACER.adopt(delta["spans"], worker_pid=delta["pid"])

@@ -1,0 +1,136 @@
+"""Module-level shard functions executed inside pool worker processes.
+
+Every function here is a top-level callable (so it pickles by reference) that
+re-enters the library's existing serial code on one contiguous slice of the
+work.  :func:`execute` is the single pool entry point: it unpacks one task,
+mirrors the parent's tracer/cache flags, runs the shard under
+:func:`~repro.parallel.state.capture_worker_state` and ships the result back
+together with the worker's state delta.
+
+Imports of the semantics/prover modules are deferred into the shard bodies:
+this module is imported by :mod:`repro.parallel.executor`, which the
+semantics modules import from their sharded call sites — top-level imports
+here would be circular.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple
+
+from .state import capture_worker_state
+
+__all__ = [
+    "execute",
+    "loop_scheduler_shard",
+    "kraus_pairwise_shard",
+    "transfer_pairwise_shard",
+    "wp_loop_shard",
+    "prover_predicate_shard",
+]
+
+
+def execute(task: Tuple) -> Tuple[Any, Dict[str, Any]]:
+    """Run one ``(function, payload, trace_flag, cache_flag)`` task; return ``(result, delta)``."""
+    function, payload, trace_enabled, cache_enabled = task
+    with capture_worker_state(trace_enabled, cache_enabled) as holder:
+        result = function(*payload)
+    return result, holder["delta"]
+
+
+def loop_scheduler_shard(program, register, body_maps, schedulers, options) -> List:
+    """Explore one contiguous slice of a loop's schedulers; return their final iterates."""
+    from ..semantics.denotational import loop_iterates, loop_prefix_cache
+
+    prefix_cache = loop_prefix_cache(program, register, options, len(schedulers))
+    return [
+        loop_iterates(
+            program, register, body_maps, scheduler, options, prefix_cache=prefix_cache
+        )[-1]
+        for scheduler in schedulers
+    ]
+
+
+def kraus_pairwise_shard(earlier_chunk, step, options) -> List:
+    """Compose one slice of the accumulated Kraus set with every step map.
+
+    The iteration order (``earlier``-major, ``later``-minor) matches the
+    serial ``Seq`` composition exactly, so concatenating the shard results in
+    slice order reproduces the serial product order.
+    """
+    from ..semantics.denotational import _maybe_simplify
+
+    return [
+        _maybe_simplify(later.compose(earlier), options)
+        for earlier in earlier_chunk
+        for later in step
+    ]
+
+
+def transfer_pairwise_shard(step_chunk, current_stack):
+    """Batched pairwise products of one slice of the step stack with the full current stack.
+
+    Mirrors ``TransferSet.compose_pairwise``, whose product order is
+    step-major — hence the *step* stack is what gets sliced, and concatenating
+    the shard outputs along axis 0 reproduces the serial stack order.
+    """
+    import numpy as np
+
+    products = np.einsum("aij,bjk->abik", step_chunk, current_stack)
+    side = step_chunk.shape[1]
+    return products.reshape(-1, side, side)
+
+
+def wp_loop_shard(
+    program, post, register, options, liberal, p0, p1, body_choices, schedulers
+) -> List:
+    """Evaluate the backward wp/wlp loop sequence for one slice of schedulers."""
+    import numpy as np
+
+    from ..semantics.wp import _xp_while_scheduler
+
+    identity = np.eye(register.dimension, dtype=complex)
+    return [
+        _xp_while_scheduler(
+            program, post, register, options, liberal, p0, p1, body_choices, scheduler, identity
+        )
+        for scheduler in schedulers
+    ]
+
+
+def prover_predicate_shard(
+    then_branch,
+    else_branch,
+    predicates: Sequence,
+    register,
+    mode,
+    options,
+    invariants_by_digest: Dict[str, Any],
+) -> List[Tuple]:
+    """Annotate both branches of a conditional against one slice of postcondition predicates.
+
+    Loop invariants are user input keyed by ``id(while_node)`` in the parent,
+    which does not survive pickling; the caller re-keys them by content digest
+    and this shard walks the (re-pickled) branches to rebuild the id-keyed
+    mapping for a fresh worker-side :class:`~repro.logic.prover.Prover`.
+    Returns one ``(then_precondition, else_precondition, events)`` triple per
+    predicate, in predicate order.
+    """
+    from ..hashing import node_digest
+    from ..language.ast import While
+    from ..logic.prover import Prover
+    from ..predicates.assertion import QuantumAssertion
+
+    invariants = {}
+    for branch in (then_branch, else_branch):
+        for node in branch.walk():
+            if isinstance(node, While):
+                invariants[id(node)] = invariants_by_digest[node_digest(node)]
+    prover = Prover(register, mode, invariants, options)
+    results = []
+    for predicate in predicates:
+        single = QuantumAssertion([predicate])
+        event_mark = len(prover.events)
+        then_pre = prover._annotate(then_branch, single).precondition
+        else_pre = prover._annotate(else_branch, single).precondition
+        results.append((then_pre, else_pre, tuple(prover.events[event_mark:])))
+    return results

@@ -66,6 +66,7 @@ __all__ = [
     "denotation",
     "apply_denotation",
     "loop_iterates",
+    "loop_prefix_cache",
     "measurement_superoperators",
     "measurement_pair",
     "initializer_channel",
@@ -83,6 +84,14 @@ def _check_lifting(lifting: str) -> None:
     if lifting not in LIFTINGS:
         raise SemanticsError(
             f"unknown lifting mode {lifting!r}; expected one of {LIFTINGS}"
+        )
+
+
+def _check_parallelism(parallelism: int) -> None:
+    """Raise :class:`SemanticsError` unless ``parallelism`` is a valid worker count."""
+    if not isinstance(parallelism, int) or parallelism < 0:
+        raise SemanticsError(
+            "parallelism must be a non-negative integer (0 = one worker per CPU core)"
         )
 
 
@@ -113,6 +122,12 @@ class DenotationOptions:
     lifting:
         ``"dense"`` (eager cylinder extension) or ``"local"``
         (structure-aware deferred lifting) — see the module docstring.
+    parallelism:
+        Worker processes for scheduler exploration and pairwise products
+        (see :mod:`repro.parallel`).  ``1`` (default) runs serially, ``0``
+        means one worker per CPU core.  An execution strategy only: results
+        and their ordering are identical to the serial run, and the field is
+        excluded from cache signatures.
     """
 
     max_iterations: int = 64
@@ -123,6 +138,7 @@ class DenotationOptions:
     dedup: bool = True
     backend: str = "kraus"
     lifting: str = "dense"
+    parallelism: int = 1
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -130,6 +146,7 @@ class DenotationOptions:
                 f"unknown semantics backend {self.backend!r}; expected one of {BACKENDS}"
             )
         _check_lifting(self.lifting)
+        _check_parallelism(self.parallelism)
 
 
 def measurement_superoperators(statement, register: QubitRegister, lifting: str = "dense"):
@@ -335,12 +352,17 @@ def _denote(program: Program, register: QubitRegister, options: DenotationOption
                 region="denotation",
                 statement=type(statement).__name__,
                 set_size=len(current) * len(step),
-            ):
-                current = [
-                    _maybe_simplify(later.compose(earlier), options)
-                    for earlier in current
-                    for later in step
-                ]
+            ) as seq_span:
+                composed = _kraus_pairwise_parallel(current, step, register, options)
+                if composed is None:
+                    composed = [
+                        _maybe_simplify(later.compose(earlier), options)
+                        for earlier in current
+                        for later in step
+                    ]
+                else:
+                    seq_span.set_tag("parallel", True)
+                current = composed
                 if options.dedup and len(current) > 1:
                     current = deduplicate(current)
         return current
@@ -424,8 +446,13 @@ def _denote_transfer(
                 region="denotation",
                 statement=type(statement).__name__,
                 set_size=len(current) * len(step),
-            ):
-                current = step.compose_pairwise(current)
+            ) as seq_span:
+                composed = _transfer_pairwise_parallel(step, current, register, options)
+                if composed is None:
+                    composed = step.compose_pairwise(current)
+                else:
+                    seq_span.set_tag("parallel", True)
+                current = composed
                 if options.dedup and len(current) > 1:
                     current = current.deduplicated()
         return current
@@ -495,47 +522,82 @@ class _GlobalPrefixCache:
         return None if value is MISS else value
 
     def setdefault(self, choices, default):
-        """Return the cached prefix, inserting ``default`` on a miss."""
-        existing = self.get(choices)
-        if existing is not None:
-            return existing
-        self[choices] = default
-        return default
+        """Return the cached prefix, inserting ``default`` atomically on a miss.
+
+        Delegates to :meth:`ResultCache.get_or_set` — one lock hold for the
+        lookup and the insertion, so concurrent workers exploring loops with
+        shared prefixes cannot interleave duplicate inserts or double-count
+        hits and misses.
+        """
+        return RESULT_CACHE.get_or_set("loop-prefix", self._base + (choices,), default)
 
     def __setitem__(self, choices, value):
         RESULT_CACHE.store("loop-prefix", self._base + (choices,), value)
 
 
-def _explore_loop(program, register, body_maps, options: DenotationOptions) -> List:
-    """Run :func:`loop_iterates` for every scheduler, sharing prefixes when useful.
+def loop_prefix_cache(program, register, options, num_schedulers: int):
+    """Build the prefix cache :func:`loop_iterates` should use for one loop.
 
     With cacheable options the prefixes go through the process-wide result
     cache (see :class:`_GlobalPrefixCache`); with explicit user schedulers the
     old behaviour is kept — a per-call dict when several schedulers can share
     prefixes, no memoisation for a single scheduler.
     """
-    schedulers = _loop_schedulers(options, len(body_maps))
     options_sig = options_signature(options)
     if options_sig is not None:
-        prefix_cache = _GlobalPrefixCache(
+        return _GlobalPrefixCache(
             (node_digest(program), register_signature(register), options_sig)
         )
-    else:
-        prefix_cache = {} if len(schedulers) > 1 else None
-    results = []
+    return {} if num_schedulers > 1 else None
+
+
+def _explore_loop(program, register, body_maps, options: DenotationOptions) -> List:
+    """Run :func:`loop_iterates` for every scheduler, sharding across workers when asked."""
+    schedulers = _loop_schedulers(options, len(body_maps))
     with span(
         "loop",
         region="loop",
         schedulers=len(schedulers),
         body_maps=len(body_maps),
         num_qubits=register.num_qubits,
-    ):
+    ) as loop_span:
+        results = _explore_loop_parallel(program, register, body_maps, schedulers, options)
+        if results is not None:
+            loop_span.set_tag("parallel", True)
+            return results
+        prefix_cache = loop_prefix_cache(program, register, options, len(schedulers))
+        results = []
         for scheduler in schedulers:
             iterates = loop_iterates(
                 program, register, body_maps, scheduler, options, prefix_cache=prefix_cache
             )
             results.append(iterates[-1])
     return results
+
+
+def _explore_loop_parallel(program, register, body_maps, schedulers, options) -> Optional[List]:
+    """Shard the per-scheduler loop exploration; ``None`` means "run serially".
+
+    Each worker explores a contiguous slice of the scheduler list with its own
+    shard-local prefix cache (the worker's global-cache insertions come back
+    in its state delta); flattening the per-shard results in slice order
+    reproduces the serial scheduler order exactly.
+    """
+    if options.parallelism == 1:
+        return None
+    from ..parallel.executor import effective_jobs, parallel_map, shard_evenly
+    from ..parallel.worker import loop_scheduler_shard
+
+    shards = shard_evenly(schedulers, effective_jobs(options.parallelism))
+    payloads = [
+        (program, register, list(body_maps), shard, options) for shard in shards
+    ]
+    shard_results = parallel_map(
+        loop_scheduler_shard, payloads, options.parallelism, work_size=register.dimension
+    )
+    if shard_results is None:
+        return None
+    return [result for shard in shard_results for result in shard]
 
 
 def _denote_while(
@@ -631,6 +693,64 @@ def loop_iterates(
                 break
         chain_span.set_tag("iterations", len(iterates))
     return iterates
+
+
+def _kraus_pairwise_parallel(current, step, register, options) -> Optional[List]:
+    """Shard the earlier×later Kraus products of one Seq step; ``None`` = serial.
+
+    The serial composition is ``earlier``-major, so the *current* set is what
+    gets sliced: concatenating the shard outputs in slice order reproduces
+    the serial product order element for element.
+    """
+    if options.parallelism == 1:
+        return None
+    from ..parallel.executor import (
+        MIN_PAIRWISE_PRODUCTS,
+        effective_jobs,
+        parallel_map,
+        shard_evenly,
+    )
+    from ..parallel.worker import kraus_pairwise_shard
+
+    if len(current) * len(step) < MIN_PAIRWISE_PRODUCTS:
+        return None
+    shards = shard_evenly(current, effective_jobs(options.parallelism))
+    payloads = [(shard, step, options) for shard in shards]
+    shard_results = parallel_map(
+        kraus_pairwise_shard, payloads, options.parallelism, work_size=register.dimension
+    )
+    if shard_results is None:
+        return None
+    return [channel for shard in shard_results for channel in shard]
+
+
+def _transfer_pairwise_parallel(step, current, register, options) -> Optional[TransferSet]:
+    """Shard a batched ``step.compose_pairwise(current)``; ``None`` = serial.
+
+    ``compose_pairwise`` is *step*-major (``einsum("aij,bjk->abik")`` over the
+    step stack ``a``), so the step stack is what gets sliced and the shard
+    outputs concatenate along axis 0 into the serial stack order.
+    """
+    if options.parallelism == 1:
+        return None
+    from ..parallel.executor import (
+        MIN_PAIRWISE_PRODUCTS,
+        effective_jobs,
+        parallel_map,
+        shard_evenly,
+    )
+    from ..parallel.worker import transfer_pairwise_shard
+
+    if len(step) * len(current) < MIN_PAIRWISE_PRODUCTS:
+        return None
+    shards = shard_evenly(step.stack, effective_jobs(options.parallelism))
+    payloads = [(shard, current.stack) for shard in shards]
+    shard_results = parallel_map(
+        transfer_pairwise_shard, payloads, options.parallelism, work_size=register.dimension
+    )
+    if shard_results is None:
+        return None
+    return TransferSet(np.concatenate(shard_results, axis=0))
 
 
 def _maybe_simplify(channel, options: DenotationOptions):

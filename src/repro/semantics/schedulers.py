@@ -101,29 +101,32 @@ class FunctionScheduler(Scheduler):
 
 
 class RandomScheduler(Scheduler):
-    """Choose branches pseudo-randomly but reproducibly (fixed seed).
+    """Choose branches pseudo-randomly but reproducibly — a pure function of the seed.
 
-    The choice for a given iteration is memoised so the scheduler behaves as a
-    single fixed element of ``[[S]]^N`` even when queried repeatedly.
+    The choice at ``iteration`` is derived from ``(seed, iteration,
+    num_choices)`` alone by seeding a fresh generator per query, so the
+    scheduler is one fixed element of ``[[S]]^N`` no matter how often, in what
+    order, or at what ``num_choices`` it is queried.  (The historical
+    implementation memoised the first draw per iteration at whatever
+    ``num_choices`` it happened to see and silently rescaled stale choices
+    with ``index % num_choices``, so a reused instance drifted away from a
+    fresh one.)  Instances carry no hidden state, which also makes scheduler
+    identity shippable to the worker processes of :mod:`repro.parallel`.
     """
 
     def __init__(self, seed: int = 0):
-        self._seed = seed
-        self._rng = np.random.default_rng(seed)
-        self._choices: dict[int, int] = {}
+        self.seed = int(seed)
 
     def select(self, iteration: int, num_choices: int) -> int:
-        """Return the memoised pseudo-random choice for ``iteration``."""
-        if iteration not in self._choices:
-            self._choices[iteration] = int(self._rng.integers(0, num_choices))
-        index = self._choices[iteration]
-        if index >= num_choices:
-            index = index % num_choices
-        return index
+        """Return the pseudo-random choice derived from ``(seed, iteration, num_choices)``."""
+        if num_choices <= 0:
+            raise SchedulerError("scheduler queried with no choices available")
+        rng = np.random.default_rng((self.seed, int(iteration)))
+        return int(rng.integers(0, num_choices))
 
     def describe(self) -> str:
         """Return ``random(seed=s)``."""
-        return f"random(seed={self._seed})"
+        return f"random(seed={self.seed})"
 
 
 def constant_schedulers(num_choices: int) -> list[Scheduler]:

@@ -35,6 +35,7 @@ from ..telemetry.tracing import span
 from .denotational import (
     BACKENDS,
     _check_lifting,
+    _check_parallelism,
     _loop_schedulers,
     initializer_channel,
     measurement_superoperators,
@@ -58,6 +59,11 @@ class WpOptions:
     materialises every cylinder extension, ``"local"`` conjugates predicates
     by contracting only the statement's tensor factors (see
     :mod:`repro.superop.local`).
+
+    ``parallelism`` shards the per-scheduler loop evaluation (and the body
+    denotations, which forward it) across worker processes — ``1`` (default)
+    is serial, ``0`` means one worker per CPU core; results are identical to
+    the serial run (see :mod:`repro.parallel`).
     """
 
     max_iterations: int = 64
@@ -66,6 +72,7 @@ class WpOptions:
     convergence_tolerance: float = 1e-9
     backend: str = "kraus"
     lifting: str = "dense"
+    parallelism: int = 1
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -73,6 +80,7 @@ class WpOptions:
                 f"unknown semantics backend {self.backend!r}; expected one of {BACKENDS}"
             )
         _check_lifting(self.lifting)
+        _check_parallelism(self.parallelism)
 
 
 def weakest_precondition(
@@ -235,14 +243,58 @@ def _xp_while(
 
     identity = np.eye(register.dimension, dtype=complex)
     results: List[QuantumPredicate] = []
-    with span("wp-loop", region="wp", schedulers=len(schedulers), liberal=liberal):
-        results.extend(
-            _xp_while_scheduler(
-                program, post, register, options, liberal, p0, p1, body_choices, scheduler, identity
-            )
-            for scheduler in schedulers
+    with span("wp-loop", region="wp", schedulers=len(schedulers), liberal=liberal) as wp_span:
+        sharded = _xp_while_parallel(
+            program, post, register, options, liberal, p0, p1, body_choices, schedulers
         )
+        if sharded is not None:
+            wp_span.set_tag("parallel", True)
+            results.extend(sharded)
+        else:
+            results.extend(
+                _xp_while_scheduler(
+                    program, post, register, options, liberal, p0, p1, body_choices, scheduler, identity
+                )
+                for scheduler in schedulers
+            )
     return _dedup(results)
+
+
+def _xp_while_parallel(
+    program: While,
+    post: QuantumPredicate,
+    register: QubitRegister,
+    options: WpOptions,
+    liberal: bool,
+    p0,
+    p1,
+    body_choices: List,
+    schedulers: List[Scheduler],
+) -> Optional[List[QuantumPredicate]]:
+    """Shard the per-scheduler backward loop evaluation; ``None`` means "run serially".
+
+    Workers receive contiguous scheduler slices plus the already-computed
+    measurement pair and body denotations, so no semantics is recomputed;
+    flattening the shard results in slice order reproduces the serial
+    scheduler order (the caller's ``_dedup`` keeps first occurrences either
+    way).
+    """
+    if options.parallelism == 1:
+        return None
+    from ..parallel.executor import effective_jobs, parallel_map, shard_evenly
+    from ..parallel.worker import wp_loop_shard
+
+    shards = shard_evenly(schedulers, effective_jobs(options.parallelism))
+    payloads = [
+        (program, post, register, options, liberal, p0, p1, list(body_choices), shard)
+        for shard in shards
+    ]
+    shard_results = parallel_map(
+        wp_loop_shard, payloads, options.parallelism, work_size=register.dimension
+    )
+    if shard_results is None:
+        return None
+    return [predicate for shard in shard_results for predicate in shard]
 
 
 def _xp_while_scheduler(
@@ -286,6 +338,7 @@ def _body_denotations(program: While, register: QubitRegister, options: WpOption
         sampled_schedulers=options.sampled_schedulers,
         backend=options.backend,
         lifting=options.lifting,
+        parallelism=options.parallelism,
     )
     return denotation(program.body, register, body_options)
 

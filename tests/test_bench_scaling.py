@@ -30,18 +30,50 @@ def test_smoke_sweep_writes_schema_conformant_json(tmp_path):
     results = payload["results"]
     expected_cells = sum(len(sizes) for sizes in bench_scaling.SMOKE_SIZES.values()) * 4
     assert len(results) == expected_cells
+    assert payload["jobs"] == 1
+    assert payload["cpu_count"] >= 1
     for entry in results:
         assert entry["agrees_with_reference"] is True
         assert entry["backend"] in ("kraus", "transfer")
         assert entry["lifting"] in ("dense", "local")
+        assert entry["jobs"] == 1
         assert entry["seconds"] >= 0.0
         assert entry["num_qubits"] >= 2
+
+
+def test_smoke_sweep_with_jobs_adds_parallel_cells(tmp_path):
+    out = tmp_path / "BENCH_scaling_parallel.json"
+    exit_code = bench_scaling.main(["--smoke", "--jobs", "2", "--out", str(out)])
+    assert exit_code == 0
+
+    payload = json.loads(out.read_text())
+    assert payload["jobs"] == 2
+    base_cells = sum(len(sizes) for sizes in bench_scaling.SMOKE_SIZES.values()) * 4
+    jobs_entries = [e for e in payload["results"] if e["jobs"] != 1]
+    serial_companions = payload["results"][base_cells:]
+    # One serial + one jobs=2 row per smoke jobs cell, all agreeing.
+    assert len(jobs_entries) == len(bench_scaling.JOBS_CELLS_SMOKE)
+    assert len(serial_companions) == 2 * len(bench_scaling.JOBS_CELLS_SMOKE)
+    assert all(e["agrees_with_reference"] for e in payload["results"])
+    assert any(key.endswith("_jobs2_speedup") for key in payload["claims"])
 
 
 def test_headline_claims_indexing():
     results = [
         {"workload": "grover", "size": 4, "backend": "transfer", "lifting": "dense", "seconds": 1.0},
         {"workload": "grover", "size": 4, "backend": "transfer", "lifting": "local", "seconds": 0.25},
+        # A jobs-sweep row for the same cell must not perturb the local claim.
+        {"workload": "grover", "size": 4, "backend": "transfer", "lifting": "dense", "jobs": 4, "seconds": 0.3},
     ]
     claims = bench_scaling.headline_claims(results)
     assert claims == {"grover4_transfer_local_speedup": 4.0}
+
+
+def test_jobs_claims_indexing():
+    results = [
+        {"workload": "qwalk", "size": 16, "backend": "transfer", "lifting": "dense", "jobs": 1, "seconds": 2.0},
+        {"workload": "qwalk", "size": 16, "backend": "transfer", "lifting": "dense", "jobs": 4, "seconds": 1.0},
+    ]
+    claims = bench_scaling.jobs_claims(results, 4)
+    assert claims == {"qwalk16_transfer_jobs4_speedup": 2.0}
+    assert bench_scaling.jobs_claims(results, 1) == {}

@@ -26,6 +26,7 @@ DEFAULT_TARGETS = (
     "src/repro/superop",
     "src/repro/semantics",
     "src/repro/programs",
+    "src/repro/parallel",
 )
 
 
