@@ -19,7 +19,8 @@ The package provides:
   automated prover and a semantic model checker (:mod:`repro.logic`);
 * the NQPV-style proof assistant front end (:mod:`repro.assistant`);
 * the paper's case-study programs and benchmark workloads (:mod:`repro.programs`);
-* termination and refinement analyses (:mod:`repro.analysis`).
+* termination and refinement analyses plus the static semantic analyzer
+  behind the ``--lint`` pipeline stage (:mod:`repro.analysis`).
 
 Quickstart
 ----------
@@ -32,7 +33,9 @@ Quickstart
 True
 """
 
+from .analysis import AnalysisResult, ProgramProfile, analyze_program, analyze_source, program_profile
 from .cache import ResultCache, cache_stats, clear_result_cache, configure_result_cache
+from .diagnostics import Diagnostic, Severity, SourceSpan
 from .exceptions import (
     AssistantError,
     InvalidProofError,
@@ -46,6 +49,7 @@ from .exceptions import (
     RegisterError,
     ReproError,
     SemanticsError,
+    StaticAnalysisError,
     SuperOperatorError,
     VerificationError,
 )
@@ -121,6 +125,7 @@ __all__ = [
     "OrderRelationError",
     "RankingError",
     "AssistantError",
+    "StaticAnalysisError",
     # language
     "Program",
     "Skip",
@@ -165,6 +170,15 @@ __all__ = [
     "Session",
     "verify",
     "verify_source",
+    # static analysis + diagnostics
+    "AnalysisResult",
+    "ProgramProfile",
+    "analyze_program",
+    "analyze_source",
+    "program_profile",
+    "Diagnostic",
+    "Severity",
+    "SourceSpan",
     # canonical identity + result cache
     "ResultCache",
     "cache_stats",

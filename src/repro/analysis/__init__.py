@@ -1,6 +1,22 @@
-"""Termination and refinement analyses (S14)."""
+"""Program analyses: termination, refinement (S14) and static semantic analysis.
+
+The :mod:`repro.analysis.static` subpackage is the non-throwing lint layer:
+multi-pass diagnostics (well-formedness, qubit-usage dataflow) plus the
+:class:`~repro.analysis.static.profile.ProgramProfile` structure summary
+consumed by the verify pre-flight and the semantic engines' deterministic
+fast path.
+"""
 
 from .refinement import RefinementReport, check_refinement, transfer_formula
+from .static import (
+    AnalysisResult,
+    CLIFFORD_GATE_NAMES,
+    ProgramProfile,
+    analyze_program,
+    analyze_source,
+    profile_node,
+    program_profile,
+)
 from .termination import (
     TerminationReport,
     loop_termination_curve,
@@ -12,6 +28,13 @@ __all__ = [
     "RefinementReport",
     "check_refinement",
     "transfer_formula",
+    "AnalysisResult",
+    "CLIFFORD_GATE_NAMES",
+    "ProgramProfile",
+    "analyze_program",
+    "analyze_source",
+    "profile_node",
+    "program_profile",
     "TerminationReport",
     "loop_termination_curve",
     "termination_probability",

@@ -1,0 +1,40 @@
+"""Static semantic analysis of NQPV programs (non-throwing, multi-pass).
+
+Public surface:
+
+* :func:`~repro.analysis.static.analyzer.analyze_source` — lint annotated
+  surface text: tolerant parse + well-formedness + usage dataflow + profile;
+* :func:`~repro.analysis.static.analyzer.analyze_program` — usage/profile
+  analysis of an already-resolved AST;
+* :class:`~repro.analysis.static.analyzer.AnalysisResult`,
+  :class:`~repro.analysis.static.profile.ProgramProfile` and
+  :func:`~repro.analysis.static.profile.program_profile` — the structured
+  results, consumed by the verify pre-flight, the CLI ``--lint`` surface and
+  the deterministic-program fast path of the semantic engines.
+
+The diagnostic primitives (:class:`~repro.diagnostics.Diagnostic`,
+:class:`~repro.diagnostics.SourceSpan`, the code registry) live in the
+dependency-free :mod:`repro.diagnostics` so the language layer can share
+them without import cycles.
+"""
+
+from .analyzer import AnalysisResult, analyze_program, analyze_source
+from .model import Node, node_from_ast, node_from_raw
+from .profile import CLIFFORD_GATE_NAMES, ProgramProfile, profile_node, program_profile
+from .usage import check_usage
+from .wellformed import check_wellformed
+
+__all__ = [
+    "AnalysisResult",
+    "analyze_program",
+    "analyze_source",
+    "Node",
+    "node_from_ast",
+    "node_from_raw",
+    "CLIFFORD_GATE_NAMES",
+    "ProgramProfile",
+    "profile_node",
+    "program_profile",
+    "check_usage",
+    "check_wellformed",
+]

@@ -1,0 +1,168 @@
+"""Entry points of the static analyzer: ``analyze_source`` / ``analyze_program``.
+
+The analyzer is the non-throwing front half of the verification pipeline
+(ROADMAP service spine): it parses tolerantly, runs the three passes —
+well-formedness, qubit-usage dataflow, structure profile — and returns an
+:class:`AnalysisResult` holding every :class:`~repro.diagnostics.Diagnostic`
+plus the :class:`~repro.analysis.static.profile.ProgramProfile`.  It never
+constructs a super-operator, never touches numerics beyond read-only
+operator-property checks, and never raises for malformed input (a syntax
+error becomes the single ``QV001`` diagnostic).
+
+The whole run is traced under ``span("analyze")`` with one child span per
+pass, and bumps only ``analysis.*`` metrics counters, so a clean verify sees
+no cache or metrics pollution from pre-flight linting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from ...diagnostics import Diagnostic, Severity, SourceSpan, make_diagnostic
+from ...exceptions import ParseError
+from ...language.names import OperatorEnvironment, default_environment
+from ...language.syntax import parse_raw_annotated
+from ...telemetry.metrics import METRICS
+from ...telemetry.tracing import span
+from .model import Node, node_from_ast, node_from_raw
+from .profile import ProgramProfile, profile_node
+from .usage import check_usage
+from .wellformed import check_wellformed
+
+__all__ = ["AnalysisResult", "analyze_source", "analyze_program"]
+
+
+def _sort_key(diagnostic: Diagnostic):
+    """Order diagnostics by source position, then by code (spanless last)."""
+    if diagnostic.span is None:
+        return (1, 0, 0, diagnostic.code)
+    return (0, diagnostic.span.line, diagnostic.span.column, diagnostic.code)
+
+
+@dataclass(frozen=True)
+class AnalysisResult:
+    """Everything one analyzer run produced: diagnostics plus the profile.
+
+    ``profile`` is ``None`` only when the source failed to parse at all
+    (``QV001``) — there is no tree to profile then.
+    """
+
+    diagnostics: Tuple[Diagnostic, ...]
+    profile: Optional[ProgramProfile] = None
+    filename: Optional[str] = field(default=None, compare=False)
+
+    @property
+    def errors(self) -> Tuple[Diagnostic, ...]:
+        """The error-severity diagnostics."""
+        return tuple(d for d in self.diagnostics if d.severity == Severity.ERROR)
+
+    @property
+    def warnings(self) -> Tuple[Diagnostic, ...]:
+        """The warning-severity diagnostics."""
+        return tuple(d for d in self.diagnostics if d.severity == Severity.WARNING)
+
+    def ok(self, strict: bool = False) -> bool:
+        """Return whether the program is clean (``strict`` also rejects warnings)."""
+        if strict:
+            return not self.diagnostics
+        return not self.errors
+
+    def render(self) -> str:
+        """Render all diagnostics plus a one-line summary, for terminal output."""
+        lines = [diagnostic.render(self.filename) for diagnostic in self.diagnostics]
+        lines.append(
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s)"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Return the JSON-serialisable form used by ``--diagnostics-json``."""
+        return {
+            "filename": self.filename,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "profile": self.profile.to_dict() if self.profile is not None else None,
+        }
+
+
+def _finish(diagnostics, profile, filename) -> AnalysisResult:
+    """Sort, count and wrap the diagnostics of one run."""
+    ordered = tuple(sorted(diagnostics, key=_sort_key))
+    for diagnostic in ordered:
+        METRICS.counter(
+            "analysis.diagnostics", code=diagnostic.code, severity=diagnostic.severity.value
+        ).inc()
+    return AnalysisResult(diagnostics=ordered, profile=profile, filename=filename)
+
+
+def analyze_source(
+    source: str,
+    environment: Optional[OperatorEnvironment] = None,
+    filename: Optional[str] = None,
+) -> AnalysisResult:
+    """Analyze annotated surface-language source without raising.
+
+    Runs the tolerant parser and all three analyzer passes; a syntax error
+    short-circuits into a single ``QV001`` diagnostic carrying the parser's
+    position.  Operator names are resolved read-only against ``environment``
+    (the default NQPV environment when omitted).
+    """
+    environment = environment or default_environment()
+    with span("analyze", region="analyze", source_bytes=len(source)) as analyze_span:
+        METRICS.counter("analysis.runs").inc()
+        try:
+            raw = parse_raw_annotated(source)
+        except ParseError as error:
+            position = (
+                SourceSpan(error.line, error.column or 1)
+                if error.line is not None
+                else None
+            )
+            diagnostic = make_diagnostic("QV001", error.message, position)
+            analyze_span.set_tag("syntax_error", True)
+            return _finish([diagnostic], None, filename)
+
+        with span("wellformed", region="analyze"):
+            diagnostics = list(check_wellformed(raw, environment))
+            METRICS.counter("analysis.pass", stage="wellformed").inc()
+
+        root = Node("seq", children=tuple(node_from_raw(s) for s in raw.statements))
+        external_uses = {
+            name.value
+            for annotation in raw.annotations
+            for term in annotation.terms
+            for name in term.qubits.names
+        }
+        with span("usage", region="analyze"):
+            diagnostics.extend(check_usage(root, external_uses))
+            METRICS.counter("analysis.pass", stage="usage").inc()
+
+        with span("profile", region="analyze"):
+            profile = profile_node(root)
+            METRICS.counter("analysis.pass", stage="profile").inc()
+
+        analyze_span.set_tag("diagnostics", len(diagnostics))
+        analyze_span.set_tag("deterministic", profile.is_deterministic)
+    return _finish(diagnostics, profile, filename)
+
+
+def analyze_program(program, external_uses=frozenset()) -> AnalysisResult:
+    """Analyze a resolved :class:`~repro.language.ast.Program` (no environment needed).
+
+    Only the usage and profile passes apply — a typed AST is well-formed by
+    construction (its ``__post_init__`` checks carry the same diagnostic
+    codes).  ``external_uses`` plays the same role as annotation mentions in
+    :func:`analyze_source`: qubits known to be read elsewhere.
+    """
+    with span("analyze", region="analyze", programmatic=True):
+        METRICS.counter("analysis.runs").inc()
+        root = node_from_ast(program)
+        with span("usage", region="analyze"):
+            diagnostics = list(check_usage(root, frozenset(external_uses)))
+            METRICS.counter("analysis.pass", stage="usage").inc()
+        with span("profile", region="analyze"):
+            profile = profile_node(root)
+            METRICS.counter("analysis.pass", stage="profile").inc()
+    return _finish(diagnostics, profile, None)

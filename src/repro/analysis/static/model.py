@@ -1,0 +1,134 @@
+"""Shared mini-IR of the static analyzer: one node shape for both front ends.
+
+The analyzer's dataflow (:mod:`repro.analysis.static.usage`) and structure
+(:mod:`repro.analysis.static.profile`) passes are written once against the
+tiny :class:`Node` tree below, which can be produced from either input the
+analyzer accepts:
+
+* the tolerant raw trees of :mod:`repro.language.syntax` (the ``--lint``
+  path, where the typed AST may not even be constructible), via
+  :func:`node_from_raw`;
+* the typed AST of :mod:`repro.language.ast` (the programmatic
+  :func:`~repro.analysis.static.analyzer.analyze_program` path), via
+  :func:`node_from_ast`.
+
+A :class:`Node` keeps only what those passes need: the statement kind, the
+qubits it touches, the operator/measurement display name, the sub-statements
+and the source span (``None`` for programmatic ASTs built without spans).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ...diagnostics import SourceSpan
+from ...language import ast
+from ...language import syntax
+
+__all__ = ["Node", "node_from_raw", "node_from_ast"]
+
+#: The statement kinds a :class:`Node` can take.
+NODE_KINDS = ("skip", "abort", "init", "unitary", "seq", "choice", "if", "while")
+
+
+@dataclass(frozen=True)
+class Node:
+    """One mini-IR statement: kind, touched qubits, display name, children, span.
+
+    ``qubits`` are the directly listed qubits of the statement (``init`` /
+    ``unitary`` targets, ``if`` / ``while`` guard qubits); ``name`` is the
+    operator or measurement display name when the kind has one.  For ``if``
+    nodes the children are ``(then, else)``; for ``while`` nodes ``(body,)``.
+    """
+
+    kind: str
+    qubits: Tuple[str, ...] = ()
+    name: Optional[str] = None
+    children: Tuple["Node", ...] = ()
+    span: Optional[SourceSpan] = None
+
+    def walk(self):
+        """Yield every node of the tree in pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+def node_from_raw(raw: syntax.RawStatement) -> Node:
+    """Convert a raw (tolerant-parse) statement into the mini-IR."""
+    if isinstance(raw, syntax.RawSkip):
+        return Node("skip", span=raw.span)
+    if isinstance(raw, syntax.RawAbort):
+        return Node("abort", span=raw.span)
+    if isinstance(raw, syntax.RawInit):
+        return Node("init", qubits=raw.qubits.values(), span=raw.span)
+    if isinstance(raw, syntax.RawUnitary):
+        return Node(
+            "unitary", qubits=raw.qubits.values(), name=raw.operator.value, span=raw.span
+        )
+    if isinstance(raw, syntax.RawSequence):
+        return Node("seq", children=tuple(node_from_raw(item) for item in raw.items), span=raw.span)
+    if isinstance(raw, syntax.RawChoice):
+        return Node(
+            "choice", children=tuple(node_from_raw(b) for b in raw.branches), span=raw.span
+        )
+    if isinstance(raw, syntax.RawIf):
+        then_branch = node_from_raw(raw.then_branch)
+        else_branch = (
+            node_from_raw(raw.else_branch) if raw.else_branch is not None else Node("skip")
+        )
+        return Node(
+            "if",
+            qubits=raw.qubits.values(),
+            name=raw.measurement.value,
+            children=(then_branch, else_branch),
+            span=raw.span,
+        )
+    if isinstance(raw, syntax.RawWhile):
+        return Node(
+            "while",
+            qubits=raw.qubits.values(),
+            name=raw.measurement.value,
+            children=(node_from_raw(raw.body),),
+            span=raw.span,
+        )
+    raise TypeError(f"unsupported raw node {type(raw).__name__}")
+
+
+def node_from_ast(program: ast.Program) -> Node:
+    """Convert a typed AST statement into the mini-IR."""
+    span = program.source_span
+    if isinstance(program, ast.Skip):
+        return Node("skip", span=span)
+    if isinstance(program, ast.Abort):
+        return Node("abort", span=span)
+    if isinstance(program, ast.Init):
+        return Node("init", qubits=program.qubits, span=span)
+    if isinstance(program, ast.Unitary):
+        return Node("unitary", qubits=program.qubits, name=program.name, span=span)
+    if isinstance(program, ast.Seq):
+        return Node(
+            "seq", children=tuple(node_from_ast(s) for s in program.statements), span=span
+        )
+    if isinstance(program, ast.NDet):
+        return Node(
+            "choice", children=tuple(node_from_ast(b) for b in program.branches), span=span
+        )
+    if isinstance(program, ast.If):
+        return Node(
+            "if",
+            qubits=program.qubits,
+            name=program.measurement.name,
+            children=(node_from_ast(program.then_branch), node_from_ast(program.else_branch)),
+            span=span,
+        )
+    if isinstance(program, ast.While):
+        return Node(
+            "while",
+            qubits=program.qubits,
+            name=program.measurement.name,
+            children=(node_from_ast(program.body),),
+            span=span,
+        )
+    raise TypeError(f"unsupported AST node {type(program).__name__}")

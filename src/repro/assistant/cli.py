@@ -108,6 +108,25 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="treat the input as a def/proof/show command script instead of a single program",
     )
     parser.add_argument(
+        "--lint",
+        action="store_true",
+        help="run the static analyzer only (no verification): print every "
+        "diagnostic as 'file:line:col: CODE severity: message' and exit "
+        "non-zero when errors (or, with --strict, any diagnostics) were found",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat analyzer warnings as failures (with --lint: non-zero exit; "
+        "during verification: abort before the prover runs)",
+    )
+    parser.add_argument(
+        "--diagnostics-json",
+        metavar="PATH",
+        default=None,
+        help="write the analyzer result (diagnostics + program profile) as JSON",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="only print the verification verdict"
     )
     parser.add_argument(
@@ -129,6 +148,30 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "order-decision latencies, proof-event counts) as JSON",
     )
     return parser
+
+
+def _write_diagnostics_json(path: str, analysis) -> None:
+    """Write one analyzer result as a JSON document."""
+    Path(path).write_text(json.dumps(analysis.to_dict(), indent=2, sort_keys=True))
+
+
+def _run_lint(
+    arguments: argparse.Namespace, source_text: str, filename: str, environment
+) -> int:
+    """Run ``--lint``: analyze only, print diagnostics, exit by severity.
+
+    Exit code 0 when the program is clean (with ``--strict``: no diagnostics
+    at all), 1 otherwise.  Never runs the prover or builds a super-operator.
+    """
+    from ..analysis.static.analyzer import analyze_source
+
+    analysis = analyze_source(source_text, environment, filename=filename)
+    if not arguments.quiet or not analysis.ok(arguments.strict):
+        print(analysis.render())
+    if arguments.diagnostics_json:
+        _write_diagnostics_json(arguments.diagnostics_json, analysis)
+    _emit_telemetry(arguments)
+    return 0 if analysis.ok(arguments.strict) else 1
 
 
 def _emit_telemetry(arguments: argparse.Namespace) -> None:
@@ -178,6 +221,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                 raise ReproError(f"invalid --operator value {definition!r}; expected NAME=PATH")
             session.load(name, path)
 
+        if arguments.lint:
+            return _run_lint(arguments, source_text, str(source_path), session.environment)
+
         if arguments.script:
             outputs = session.run_script(source_text)
             if not arguments.quiet:
@@ -187,6 +233,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             print("verification:", "FAILED" if failed else "OK")
             _emit_telemetry(arguments)
             return 1 if failed else 0
+
+        if arguments.strict or arguments.diagnostics_json:
+            from ..analysis.static.analyzer import analyze_source
+
+            analysis = analyze_source(source_text, session.environment, str(source_path))
+            if arguments.diagnostics_json:
+                _write_diagnostics_json(arguments.diagnostics_json, analysis)
+            if arguments.strict and not analysis.ok(strict=True):
+                print(analysis.render())
+                print("verification: FAILED")
+                _emit_telemetry(arguments)
+                return 1
 
         report = verify_source(
             source_text,
@@ -198,6 +256,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(report.outline.render())
             for message in report.messages:
                 print("//", message)
+            for diagnostic in report.diagnostics:
+                print("// lint:", diagnostic.render(str(source_path)))
         print("verification:", "OK" if report.verified else "FAILED")
         _emit_telemetry(arguments)
         return 0 if report.verified else 1

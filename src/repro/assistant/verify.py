@@ -13,7 +13,8 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
-from ..exceptions import AssistantError
+from ..analysis.static.analyzer import AnalysisResult, analyze_source
+from ..exceptions import AssistantError, StaticAnalysisError
 from ..language.names import OperatorEnvironment, default_environment
 from ..language.parser import AnnotatedProgram, AssertionSpec, parse_annotated_program
 from ..logic.formula import CorrectnessFormula, CorrectnessMode
@@ -28,12 +29,19 @@ __all__ = ["VerificationTask", "resolve_assertion", "verify_source", "verify"]
 
 @dataclass
 class VerificationTask:
-    """A fully-resolved verification task ready to be handed to the prover."""
+    """A fully-resolved verification task ready to be handed to the prover.
+
+    ``analysis`` holds the mandatory pre-flight static-analyzer result; by
+    construction it contains no error-severity diagnostics (those raise
+    :class:`~repro.exceptions.StaticAnalysisError` before resolution), only
+    warnings to surface alongside the verification report.
+    """
 
     formula: CorrectnessFormula
     register: QubitRegister
     invariants: Dict[int, QuantumAssertion]
     annotated: AnnotatedProgram
+    analysis: Optional[AnalysisResult] = None
 
 
 def resolve_assertion(
@@ -68,6 +76,20 @@ def build_task(
         annotated = parse_annotated_program(source, environment)
     program = annotated.program
 
+    # Mandatory pre-flight: reject ill-formed inputs before any assertion is
+    # resolved or super-operator constructed.  The strict parse above already
+    # raised on syntax/name errors, so the analyzer errors caught here are the
+    # purely semantic ones (missing postcondition/invariant, bad predicates).
+    analysis = analyze_source(source, environment)
+    if analysis.errors:
+        first = analysis.errors[0]
+        raise StaticAnalysisError(
+            f"static analysis found {len(analysis.errors)} error(s); first: "
+            f"[{first.code}] {first.message}"
+            + (f" at {first.span}" if first.span is not None else ""),
+            diagnostics=analysis.diagnostics,
+        )
+
     if register is None:
         names = set(program.quantum_variables())
         for spec in annotated.annotations:
@@ -95,7 +117,11 @@ def build_task(
 
     formula = CorrectnessFormula(precondition, program, postcondition, mode)
     return VerificationTask(
-        formula=formula, register=register, invariants=invariants, annotated=annotated
+        formula=formula,
+        register=register,
+        invariants=invariants,
+        annotated=annotated,
+        analysis=analysis,
     )
 
 
@@ -115,6 +141,8 @@ def verify_source(
     with span("verify", region="verify", mode=mode.name) as verify_span:
         task = build_task(source, environment, register, mode)
         report = verify_formula(task.formula, task.register, task.invariants, options)
+        if task.analysis is not None:
+            report.diagnostics = task.analysis.diagnostics
         verify_span.set_tag("verified", report.verified)
     return report
 

@@ -11,7 +11,20 @@ from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for every error raised by the ``repro`` package."""
+    """Base class for every error raised by the ``repro`` package.
+
+    Attributes
+    ----------
+    code:
+        Optional stable diagnostic code (e.g. ``"QV101"``) shared with the
+        static analyzer's registry :data:`repro.diagnostics.DIAGNOSTIC_CODES`,
+        so programmatic builders and the linter classify a defect identically.
+        ``None`` for errors with no analyzer counterpart.
+    """
+
+    def __init__(self, *args, code: str | None = None):
+        super().__init__(*args)
+        self.code = code
 
 
 class LinalgError(ReproError):
@@ -52,17 +65,48 @@ class ParseError(ReproError):
         1-based position of the offending token when available.
     """
 
-    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+    def __init__(
+        self,
+        message: str,
+        line: int | None = None,
+        column: int | None = None,
+        code: str | None = None,
+    ):
         location = ""
         if line is not None:
             location = f" (line {line}" + (f", column {column}" if column is not None else "") + ")"
-        super().__init__(message + location)
+        super().__init__(message + location, code=code)
+        #: the bare message without the appended location suffix
+        self.message = message
         self.line = line
         self.column = column
 
 
 class NameResolutionError(ReproError):
-    """An identifier used in a program or proof does not resolve to a known operator."""
+    """An identifier used in a program or proof does not resolve to a known operator.
+
+    Attributes
+    ----------
+    line, column:
+        1-based position of the offending identifier when the name came from
+        parsed surface-language source (``None`` for programmatic lookups).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        line: int | None = None,
+        column: int | None = None,
+        code: str | None = None,
+    ):
+        location = ""
+        if line is not None:
+            location = f" (line {line}" + (f", column {column}" if column is not None else "") + ")"
+        super().__init__(message + location, code=code)
+        #: the bare message without the appended location suffix
+        self.message = message
+        self.line = line
+        self.column = column
 
 
 class SemanticsError(ReproError):
@@ -104,3 +148,26 @@ class RankingError(VerificationError):
 
 class AssistantError(ReproError):
     """Errors raised by the proof-assistant front end (bad term definitions, I/O, ...)."""
+
+
+class StaticAnalysisError(AssistantError):
+    """The static analyzer found error-severity diagnostics during pre-flight.
+
+    Raised by :func:`repro.assistant.verify.build_task` before any
+    super-operator is constructed, so malformed inputs are rejected cheaply.
+
+    Attributes
+    ----------
+    diagnostics:
+        The full tuple of :class:`repro.diagnostics.Diagnostic` records
+        (errors and warnings) collected by the analyzer.
+    """
+
+    def __init__(self, message: str, diagnostics=()):
+        first_code = None
+        for diagnostic in diagnostics:
+            if diagnostic.severity.value == "error":
+                first_code = diagnostic.code
+                break
+        super().__init__(message, code=first_code)
+        self.diagnostics = tuple(diagnostics)

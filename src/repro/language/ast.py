@@ -15,10 +15,11 @@ any register that includes its quantum variables.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Sequence, Tuple
+from typing import Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..diagnostics import SourceSpan
 from ..exceptions import LinalgError, SemanticsError
 from ..linalg.constants import P0 as P0_MATRIX
 from ..linalg.constants import P1 as P1_MATRIX
@@ -68,12 +69,16 @@ class Measurement:
         object.__setattr__(self, "p0", p0)
         object.__setattr__(self, "p1", p1)
         if p0.shape != p1.shape:
-            raise LinalgError("measurement projectors must have the same shape")
+            raise LinalgError("measurement projectors must have the same shape", code="QV107")
         if not (is_projector(p0) and is_projector(p1)):
-            raise LinalgError(f"measurement {self.name!r}: outcomes must be projectors")
+            raise LinalgError(
+                f"measurement {self.name!r}: outcomes must be projectors", code="QV107"
+            )
         identity = np.eye(p0.shape[0])
         if not operators_close(p0 + p1, identity, atol=1e-7):
-            raise LinalgError(f"measurement {self.name!r}: completeness P0 + P1 = I fails")
+            raise LinalgError(
+                f"measurement {self.name!r}: completeness P0 + P1 = I fails", code="QV107"
+            )
 
     @property
     def dimension(self) -> int:
@@ -121,7 +126,17 @@ MEAS_PLUS_MINUS = Measurement("Mpm", PPLUS, PMINUS)
 
 
 class Program:
-    """Base class of all program constructs."""
+    """Base class of all program constructs.
+
+    Every node optionally carries a ``source_span`` — the 1-based
+    :class:`~repro.diagnostics.SourceSpan` of the token that introduced it in
+    ``.nqpv`` source.  The span is display-only metadata: it is excluded from
+    equality, hashing and content digests, and is ``None`` on nodes built
+    programmatically.
+    """
+
+    #: Source location metadata (overridden by the dataclass field on subclasses).
+    source_span: Optional[SourceSpan] = None
 
     def quantum_variables(self) -> frozenset:
         """Return ``qv(S)``: the set of quantum variables occurring in the program."""
@@ -160,6 +175,8 @@ class Program:
 class Skip(Program):
     """The no-op statement ``skip``."""
 
+    source_span: Optional[SourceSpan] = field(default=None, compare=False, repr=False)
+
     def quantum_variables(self) -> frozenset:
         return frozenset()
 
@@ -167,6 +184,8 @@ class Skip(Program):
 @dataclass(frozen=True)
 class Abort(Program):
     """The failing statement ``abort``: no proper output state is ever produced."""
+
+    source_span: Optional[SourceSpan] = field(default=None, compare=False, repr=False)
 
     def quantum_variables(self) -> frozenset:
         return frozenset()
@@ -177,14 +196,15 @@ class Init(Program):
     """Initialisation ``q̄ := 0`` resetting every listed qubit to ``|0⟩``."""
 
     qubits: Tuple[str, ...]
+    source_span: Optional[SourceSpan] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self):
         qubits = tuple(self.qubits)
         object.__setattr__(self, "qubits", qubits)
         if not qubits:
-            raise SemanticsError("initialisation needs at least one qubit")
+            raise SemanticsError("initialisation needs at least one qubit", code="QV102")
         if len(set(qubits)) != len(qubits):
-            raise SemanticsError(f"duplicate qubits in initialisation: {qubits}")
+            raise SemanticsError(f"duplicate qubits in initialisation: {qubits}", code="QV101")
 
     def quantum_variables(self) -> frozenset:
         return frozenset(self.qubits)
@@ -201,6 +221,7 @@ class Unitary(Program):
     qubits: Tuple[str, ...]
     name: str
     matrix: np.ndarray = field(compare=False)
+    source_span: Optional[SourceSpan] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self):
         qubits = tuple(self.qubits)
@@ -208,14 +229,17 @@ class Unitary(Program):
         object.__setattr__(self, "qubits", qubits)
         object.__setattr__(self, "matrix", matrix)
         if not qubits:
-            raise SemanticsError("a unitary statement needs at least one qubit")
+            raise SemanticsError("a unitary statement needs at least one qubit", code="QV102")
         if len(set(qubits)) != len(qubits):
-            raise SemanticsError(f"duplicate qubits in unitary statement: {qubits}")
+            raise SemanticsError(
+                f"duplicate qubits in unitary statement: {qubits}", code="QV101"
+            )
         if not is_unitary(matrix):
-            raise LinalgError(f"operator {self.name!r} is not unitary")
+            raise LinalgError(f"operator {self.name!r} is not unitary", code="QV105")
         if matrix.shape[0] != 2 ** len(qubits):
             raise LinalgError(
-                f"operator {self.name!r} has dimension {matrix.shape[0]} but acts on {len(qubits)} qubit(s)"
+                f"operator {self.name!r} has dimension {matrix.shape[0]} but acts on {len(qubits)} qubit(s)",
+                code="QV106",
             )
 
     def quantum_variables(self) -> frozenset:
@@ -240,6 +264,7 @@ class Seq(Program):
     """Sequential composition ``S0; S1; …`` (associatively flattened)."""
 
     statements: Tuple[Program, ...]
+    source_span: Optional[SourceSpan] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self):
         flattened: list = []
@@ -267,6 +292,7 @@ class NDet(Program):
     """Demonic nondeterministic choice ``S0 □ S1 □ …`` (associatively flattened)."""
 
     branches: Tuple[Program, ...]
+    source_span: Optional[SourceSpan] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self):
         flattened: list = []
@@ -303,6 +329,7 @@ class If(Program):
     qubits: Tuple[str, ...]
     then_branch: Program
     else_branch: Program
+    source_span: Optional[SourceSpan] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self):
         qubits = tuple(self.qubits)
@@ -327,6 +354,7 @@ class While(Program):
     measurement: Measurement
     qubits: Tuple[str, ...]
     body: Program
+    source_span: Optional[SourceSpan] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self):
         qubits = tuple(self.qubits)
@@ -345,13 +373,14 @@ class While(Program):
 
 def _check_measurement_arity(measurement: Measurement, qubits: Sequence[str]) -> None:
     if not qubits:
-        raise SemanticsError("a measurement needs at least one qubit")
+        raise SemanticsError("a measurement needs at least one qubit", code="QV102")
     if len(set(qubits)) != len(qubits):
-        raise SemanticsError(f"duplicate qubits in measurement: {qubits}")
+        raise SemanticsError(f"duplicate qubits in measurement: {qubits}", code="QV101")
     if measurement.dimension != 2 ** len(qubits):
         raise LinalgError(
             f"measurement {measurement.name!r} has dimension {measurement.dimension} "
-            f"but is applied to {len(qubits)} qubit(s)"
+            f"but is applied to {len(qubits)} qubit(s)",
+            code="QV108",
         )
 
 

@@ -10,6 +10,17 @@ Two entry points are provided:
   precondition, postcondition and per-loop invariants.  This is the input
   format consumed by the proof assistant (Sec. 6.1 of the paper).
 
+Both are thin strict wrappers over the tolerant raw parser of
+:mod:`repro.language.syntax`: the raw parse collects semantic problems
+(empty qubit lists, ``:= 1`` initialisations, empty annotations) instead of
+raising, and the resolver below re-raises the first problem in source order —
+so the strict behaviour is unchanged while the static analyzer can reuse the
+same raw trees without stopping at the first defect.  Every
+:class:`~repro.exceptions.ParseError` and
+:class:`~repro.exceptions.NameResolutionError` raised here carries the
+1-based ``line:column`` of the offending token, and the resolved AST nodes
+carry their :class:`~repro.diagnostics.SourceSpan`.
+
 Grammar (EBNF) ::
 
     program      ::= item (';' item)*
@@ -28,13 +39,29 @@ Grammar (EBNF) ::
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from ..exceptions import ParseError
+from ..diagnostics import SourceSpan
+from ..exceptions import NameResolutionError, ParseError
 from .ast import If, Init, Program, Skip, Abort, Unitary, While, ndet, seq
-from .lexer import Token, tokenize
 from .names import OperatorEnvironment, default_environment
+from .syntax import (
+    RawAbort,
+    RawAssertion,
+    RawChoice,
+    RawIf,
+    RawInit,
+    RawName,
+    RawSequence,
+    RawSkip,
+    RawStatement,
+    RawUnitary,
+    RawWhile,
+    parse_raw_annotated,
+    parse_raw_program,
+)
 
 __all__ = [
     "PredicateTerm",
@@ -93,191 +120,118 @@ class AnnotatedProgram:
     annotations: List[AssertionSpec] = field(default_factory=list)
 
 
-class _Parser:
-    """Token-stream cursor with the usual helpers of a recursive-descent parser."""
+def _spec(assertion: Optional[RawAssertion]) -> Optional[AssertionSpec]:
+    """Convert a raw annotation into the public :class:`AssertionSpec` form."""
+    if assertion is None:
+        return None
+    terms = tuple(
+        PredicateTerm(term.name.value, term.qubits.values()) for term in assertion.terms
+    )
+    return AssertionSpec(terms, is_invariant=assertion.is_invariant)
 
-    def __init__(self, tokens: Sequence[Token], environment: OperatorEnvironment):
-        self._tokens = list(tokens)
-        self._position = 0
+
+class _Resolver:
+    """Builds the typed AST from a raw tree, re-raising problems in source order.
+
+    The raw parser records tolerated semantic problems (empty qubit lists,
+    bad initialisation values, empty annotations) in parse order; operator
+    lookups happen here, also in parse order.  To reproduce the original
+    single-pass parser's first-error behaviour exactly, a problem is raised
+    as soon as resolution reaches a lookup positioned *after* it, and any
+    remainder is raised once the walk completes.
+    """
+
+    def __init__(self, environment: OperatorEnvironment, problems):
         self._environment = environment
-
-    # ----------------------------------------------------------- token access
-    def peek(self, offset: int = 0) -> Token:
-        index = min(self._position + offset, len(self._tokens) - 1)
-        return self._tokens[index]
-
-    def advance(self) -> Token:
-        token = self.peek()
-        if token.kind != "EOF":
-            self._position += 1
-        return token
-
-    def expect(self, kind: str) -> Token:
-        token = self.peek()
-        if token.kind != kind:
-            raise ParseError(
-                f"expected {kind} but found {token.kind} ({token.value!r})", token.line, token.column
-            )
-        return self.advance()
-
-    def at(self, kind: str) -> bool:
-        return self.peek().kind == kind
-
-    # ------------------------------------------------------------- components
-    def parse_qubit_list(self) -> Tuple[str, ...]:
-        self.expect("LBRACKET")
-        names: List[str] = []
-        while not self.at("RBRACKET"):
-            token = self.expect("ID")
-            names.append(token.value)
-            if self.at("COMMA"):
-                self.advance()
-        closing = self.expect("RBRACKET")
-        if not names:
-            raise ParseError("empty qubit list", closing.line, closing.column)
-        return tuple(names)
-
-    def parse_predicate_term(self) -> PredicateTerm:
-        token = self.expect("ID")
-        qubits = self.parse_qubit_list()
-        return PredicateTerm(token.value, qubits)
-
-    def parse_annotation(self) -> AssertionSpec:
-        self.expect("LBRACE")
-        is_invariant = False
-        if self.at("INV"):
-            self.advance()
-            self.expect("COLON")
-            is_invariant = True
-        terms: List[PredicateTerm] = []
-        while not self.at("RBRACE"):
-            terms.append(self.parse_predicate_term())
-        closing = self.expect("RBRACE")
-        if not terms:
-            raise ParseError("empty assertion annotation", closing.line, closing.column)
-        return AssertionSpec(tuple(terms), is_invariant=is_invariant)
-
-    # -------------------------------------------------------------- statements
-    def parse_statement(self, annotated: "_AnnotationCollector") -> Program:
-        token = self.peek()
-        if token.kind == "SKIP":
-            self.advance()
-            return Skip()
-        if token.kind == "ABORT":
-            self.advance()
-            return Abort()
-        if token.kind == "LBRACKET":
-            qubits = self.parse_qubit_list()
-            operator_token = self.peek()
-            if operator_token.kind == "ASSIGN":
-                self.advance()
-                number = self.expect("NUMBER")
-                if number.value != "0":
-                    raise ParseError("initialisation must assign 0", number.line, number.column)
-                return Init(qubits)
-            if operator_token.kind == "MUL_ASSIGN":
-                self.advance()
-                name_token = self.expect("ID")
-                matrix = self._environment.unitary(name_token.value, num_qubits=len(qubits))
-                return Unitary(qubits, name_token.value, matrix)
-            raise ParseError(
-                f"expected ':=' or '*=' after qubit list, found {operator_token.value!r}",
-                operator_token.line,
-                operator_token.column,
-            )
-        if token.kind == "LPAREN":
-            self.advance()
-            inner = self.parse_choice(annotated)
-            self.expect("RPAREN")
-            return inner
-        if token.kind == "IF":
-            return self.parse_if(annotated)
-        if token.kind == "WHILE":
-            return self.parse_while(annotated)
-        raise ParseError(f"unexpected token {token.value!r}", token.line, token.column)
-
-    def parse_if(self, annotated: "_AnnotationCollector") -> Program:
-        self.expect("IF")
-        name_token = self.expect("ID")
-        qubits = self.parse_qubit_list()
-        measurement = self._environment.measurement(name_token.value, num_qubits=len(qubits))
-        self.expect("THEN")
-        then_branch = self.parse_sequence(annotated, stop={"ELSE", "END"})
-        else_branch: Program = Skip()
-        if self.at("ELSE"):
-            self.advance()
-            else_branch = self.parse_sequence(annotated, stop={"END"})
-        self.expect("END")
-        return If(measurement, qubits, then_branch, else_branch)
-
-    def parse_while(self, annotated: "_AnnotationCollector") -> Program:
-        self.expect("WHILE")
-        name_token = self.expect("ID")
-        qubits = self.parse_qubit_list()
-        measurement = self._environment.measurement(name_token.value, num_qubits=len(qubits))
-        self.expect("DO")
-        body = self.parse_sequence(annotated, stop={"END"})
-        self.expect("END")
-        loop = While(measurement, qubits, body)
-        annotated.attach_pending_invariant(loop)
-        return loop
-
-    # --------------------------------------------------------------- sequences
-    def parse_sequence(self, annotated: "_AnnotationCollector", stop: set) -> Program:
-        """Parse ``item (';' item)*`` until a stop keyword, EOF or closing token."""
-        statements: List[Program] = []
-        stop = set(stop) | {"EOF", "RPAREN"}
-        while True:
-            if self.peek().kind in stop:
-                break
-            if self.at("LBRACE"):
-                annotation = self.parse_annotation()
-                annotated.record(annotation, len(statements) == 0 and not statements)
-            else:
-                statements.append(self.parse_statement(annotated))
-            if self.at("SEMICOLON"):
-                self.advance()
-                continue
-            break
-        if not statements:
-            return Skip()
-        return seq(*statements)
-
-    def parse_choice(self, annotated: "_AnnotationCollector") -> Program:
-        branches = [self.parse_sequence(annotated, stop={"HASH"})]
-        while self.at("HASH"):
-            self.advance()
-            branches.append(self.parse_sequence(annotated, stop={"HASH"}))
-        return ndet(*branches)
-
-
-class _AnnotationCollector:
-    """Book-keeping of assertion annotations encountered while parsing."""
-
-    def __init__(self):
-        self.annotations: List[AssertionSpec] = []
-        self.pending_invariant: Optional[AssertionSpec] = None
+        self._problems = deque(problems)
         self.loop_invariants: Dict[int, AssertionSpec] = {}
-        self.statements_seen = 0
 
-    def record(self, annotation: AssertionSpec, at_start: bool) -> None:
-        self.annotations.append(annotation)
-        if annotation.is_invariant:
-            self.pending_invariant = annotation
+    # ------------------------------------------------------------- problems
+    def flush_problems(self, before: Optional[SourceSpan] = None) -> None:
+        """Raise the first recorded problem positioned before ``before`` (or any)."""
+        while self._problems:
+            problem = self._problems[0]
+            if before is not None and (problem.span.line, problem.span.column) > (
+                before.line,
+                before.column,
+            ):
+                return
+            raise ParseError(problem.message, problem.span.line, problem.span.column)
 
-    def attach_pending_invariant(self, loop: While) -> None:
-        if self.pending_invariant is not None:
-            self.loop_invariants[id(loop)] = self.pending_invariant
-            self.pending_invariant = None
+    # --------------------------------------------------------------- lookups
+    def _unitary(self, operator: RawName, num_qubits: int):
+        self.flush_problems(operator.span)
+        try:
+            return self._environment.unitary(operator.value, num_qubits=num_qubits)
+        except NameResolutionError as exc:
+            raise NameResolutionError(
+                exc.args[0], operator.span.line, operator.span.column, code=exc.code
+            ) from None
+
+    def _measurement(self, name: RawName, num_qubits: int):
+        self.flush_problems(name.span)
+        try:
+            return self._environment.measurement(name.value, num_qubits=num_qubits)
+        except NameResolutionError as exc:
+            raise NameResolutionError(
+                exc.args[0], name.span.line, name.span.column, code=exc.code
+            ) from None
+
+    # ------------------------------------------------------------ statements
+    def resolve(self, raw: RawStatement) -> Program:
+        """Resolve one raw statement into a typed, span-carrying AST node."""
+        if isinstance(raw, RawSkip):
+            return Skip(source_span=raw.span)
+        if isinstance(raw, RawAbort):
+            return Abort(source_span=raw.span)
+        if isinstance(raw, RawInit):
+            self.flush_problems(raw.value_span)
+            return Init(raw.qubits.values(), source_span=raw.span)
+        if isinstance(raw, RawUnitary):
+            matrix = self._unitary(raw.operator, len(raw.qubits.names))
+            return Unitary(
+                raw.qubits.values(), raw.operator.value, matrix, source_span=raw.span
+            )
+        if isinstance(raw, RawSequence):
+            if not raw.items:
+                return Skip(source_span=raw.span)
+            program = seq(*(self.resolve(item) for item in raw.items))
+            if program.source_span is None:
+                object.__setattr__(program, "source_span", raw.span)
+            return program
+        if isinstance(raw, RawChoice):
+            program = ndet(*(self.resolve(branch) for branch in raw.branches))
+            if program.source_span is None:
+                object.__setattr__(program, "source_span", raw.span)
+            return program
+        if isinstance(raw, RawIf):
+            self.flush_problems(raw.qubits.close_span)
+            measurement = self._measurement(raw.measurement, len(raw.qubits.names))
+            then_branch = self.resolve(raw.then_branch)
+            else_branch: Program = (
+                self.resolve(raw.else_branch) if raw.else_branch is not None else Skip()
+            )
+            return If(
+                measurement, raw.qubits.values(), then_branch, else_branch, source_span=raw.span
+            )
+        if isinstance(raw, RawWhile):
+            self.flush_problems(raw.qubits.close_span)
+            measurement = self._measurement(raw.measurement, len(raw.qubits.names))
+            body = self.resolve(raw.body)
+            loop = While(measurement, raw.qubits.values(), body, source_span=raw.span)
+            if raw.invariant is not None:
+                self.loop_invariants[id(loop)] = _spec(raw.invariant)
+            return loop
+        raise ParseError(f"unsupported raw node {type(raw).__name__}")
 
 
 def parse_program(source: str, environment: OperatorEnvironment | None = None) -> Program:
     """Parse a plain program (annotations are allowed but ignored)."""
     environment = environment or default_environment()
-    parser = _Parser(tokenize(source), environment)
-    collector = _AnnotationCollector()
-    program = parser.parse_choice(collector)
-    parser.expect("EOF")
+    raw = parse_raw_program(source)
+    resolver = _Resolver(environment, raw.problems)
+    program = resolver.resolve(raw.root)
+    resolver.flush_problems()
     return program
 
 
@@ -292,43 +246,18 @@ def parse_annotated_program(
     that follows it.
     """
     environment = environment or default_environment()
-    tokens = tokenize(source)
-    parser = _Parser(tokens, environment)
-    collector = _AnnotationCollector()
-
-    precondition: Optional[AssertionSpec] = None
-    postcondition: Optional[AssertionSpec] = None
-    statements: List[Program] = []
-
-    while not parser.at("EOF"):
-        if parser.at("LBRACE"):
-            annotation = parser.parse_annotation()
-            collector.annotations.append(annotation)
-            if annotation.is_invariant:
-                collector.pending_invariant = annotation
-            elif not statements and precondition is None:
-                precondition = annotation
-            else:
-                postcondition = annotation
-        else:
-            statement = parser.parse_statement(collector)
-            statements.append(statement)
-            postcondition = None
-        if parser.at("SEMICOLON"):
-            parser.advance()
-        elif not parser.at("EOF"):
-            token = parser.peek()
-            raise ParseError(
-                f"expected ';' or end of input, found {token.value!r}", token.line, token.column
-            )
+    raw = parse_raw_annotated(source)
+    resolver = _Resolver(environment, raw.problems)
+    statements = [resolver.resolve(statement) for statement in raw.statements]
+    resolver.flush_problems()
 
     if not statements:
         raise ParseError("the source text contains no program statement")
     program = seq(*statements)
     return AnnotatedProgram(
         program=program,
-        precondition=precondition,
-        postcondition=postcondition,
-        loop_invariants=collector.loop_invariants,
-        annotations=collector.annotations,
+        precondition=_spec(raw.precondition),
+        postcondition=_spec(raw.postcondition),
+        loop_invariants=resolver.loop_invariants,
+        annotations=[_spec(annotation) for annotation in raw.annotations],
     )

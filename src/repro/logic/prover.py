@@ -118,6 +118,12 @@ class VerificationReport:
         invariant validation, ranking synthesis, cache replay and the final
         order decision.  Events served from the result cache carry
         ``replayed=True``.
+    diagnostics:
+        Static-analyzer findings attached by the source-level front end
+        (:func:`repro.assistant.verify.verify_source` pre-flight): a tuple of
+        :class:`~repro.diagnostics.Diagnostic` records, warnings only when
+        verification proceeded (error diagnostics abort before the prover
+        runs).  Empty for programmatic :func:`verify_formula` calls.
     """
 
     verified: bool
@@ -127,6 +133,7 @@ class VerificationReport:
     order_check: Optional[OrderCheckResult] = None
     messages: List[str] = field(default_factory=list)
     events: List[ProofEvent] = field(default_factory=list)
+    diagnostics: tuple = ()
 
 
 def assign_invariants(

@@ -551,8 +551,45 @@ def loop_prefix_cache(program, register, options, num_schedulers: int):
     return {} if num_schedulers > 1 else None
 
 
+def deterministic_loop_bypass(program, body_maps, options) -> bool:
+    """Return whether loop exploration can skip scheduler enumeration entirely.
+
+    The fast path applies when the caller left the scheduler policy at its
+    default (``options.schedulers is None``) and the static analyzer's
+    :class:`~repro.analysis.static.profile.ProgramProfile` shows the loop is
+    deterministic — no nondeterministic choice anywhere, which also manifests
+    as a single body denotation.  Every scheduler then resolves to the same
+    chain, so the single ``ConstantScheduler(0)`` run is the whole semantics
+    and sampling, fan-out and worker sharding are pure overhead.
+    """
+    if options.schedulers is not None or len(body_maps) != 1:
+        return False
+    from ..analysis.static.profile import program_profile
+
+    return program_profile(program).is_deterministic
+
+
 def _explore_loop(program, register, body_maps, options: DenotationOptions) -> List:
     """Run :func:`loop_iterates` for every scheduler, sharding across workers when asked."""
+    if deterministic_loop_bypass(program, body_maps, options):
+        with span(
+            "loop",
+            region="loop",
+            schedulers=1,
+            body_maps=len(body_maps),
+            num_qubits=register.num_qubits,
+        ) as loop_span:
+            loop_span.set_tag("deterministic_bypass", True)
+            prefix_cache = loop_prefix_cache(program, register, options, 1)
+            iterates = loop_iterates(
+                program,
+                register,
+                body_maps,
+                ConstantScheduler(0),
+                options,
+                prefix_cache=prefix_cache,
+            )
+            return [iterates[-1]]
     schedulers = _loop_schedulers(options, len(body_maps))
     with span(
         "loop",

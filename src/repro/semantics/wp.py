@@ -37,10 +37,11 @@ from .denotational import (
     _check_lifting,
     _check_parallelism,
     _loop_schedulers,
+    deterministic_loop_bypass,
     initializer_channel,
     measurement_superoperators,
 )
-from .schedulers import Scheduler
+from .schedulers import ConstantScheduler, Scheduler
 
 __all__ = ["WpOptions", "weakest_precondition", "weakest_liberal_precondition"]
 
@@ -239,9 +240,28 @@ def _xp_while(
     """
     p0, p1 = measurement_superoperators(program, register, lifting=options.lifting)
     body_choices = _body_denotations(program, register, options)
-    schedulers = _loop_schedulers(options, len(body_choices))
-
     identity = np.eye(register.dimension, dtype=complex)
+
+    if deterministic_loop_bypass(program, body_choices, options):
+        # Statically deterministic loop: every scheduler resolves to the same
+        # backward chain, so evaluate it once and skip sampling and sharding.
+        with span("wp-loop", region="wp", schedulers=1, liberal=liberal) as wp_span:
+            wp_span.set_tag("deterministic_bypass", True)
+            return [
+                _xp_while_scheduler(
+                    program,
+                    post,
+                    register,
+                    options,
+                    liberal,
+                    p0,
+                    p1,
+                    body_choices,
+                    ConstantScheduler(0),
+                    identity,
+                )
+            ]
+    schedulers = _loop_schedulers(options, len(body_choices))
     results: List[QuantumPredicate] = []
     with span("wp-loop", region="wp", schedulers=len(schedulers), liberal=liberal) as wp_span:
         sharded = _xp_while_parallel(

@@ -27,6 +27,7 @@ DEFAULT_TARGETS = (
     "src/repro/semantics",
     "src/repro/programs",
     "src/repro/parallel",
+    "src/repro/analysis/static",
 )
 
 
