@@ -168,15 +168,21 @@ def run_benchmark(smoke: bool, repeats: int) -> Dict:
 
 
 def check_payload(payload: Dict) -> List[str]:
-    """Return a list of failed-assertion messages (empty when all hold)."""
+    """Return a list of failed-assertion messages (empty when all hold).
+
+    ``REPRO_RELAXED_TIMING=<factor>`` (noisy CI runners) divides the smoke
+    gate's warm-beats-cold threshold by ``factor``; the full-mode
+    ``MIN_WARM_SPEEDUP`` claim is never relaxed.
+    """
     failures: List[str] = []
+    slack = max(1.0, float(os.environ.get("REPRO_RELAXED_TIMING", "1") or 1.0))
     speedup = payload["claims"].get("warm_vs_cold_speedup")
     if speedup is None:
         failures.append("warm/cold throughputs were not measured")
         return failures
     if payload["smoke"]:
         # CI gate: the warm stream must at least beat the cold stream.
-        if speedup <= 1.0:
+        if speedup <= 1.0 / slack:
             failures.append(
                 f"warm edit-stream throughput must exceed cold, measured {speedup}x"
             )

@@ -1,0 +1,221 @@
+"""Delta-debugging shrinker for failing fuzz programs.
+
+Given a :class:`~repro.fuzz.generator.FuzzProgram` and an oracle predicate
+(``still_failing(candidate) -> bool``), :func:`shrink` repeatedly tries
+smaller candidate programs and keeps the first one that still fails, until no
+candidate is accepted.  Three reduction families are tried, largest cuts
+first:
+
+* **qubit removal** — drop one qubit and every statement touching it, patch
+  the annotations;
+* **branch collapsing** — replace a conditional by one of its branches, a
+  loop by its body (or nothing), a nondeterministic choice by a single
+  branch, or drop one branch of a wider choice;
+* **statement deletion** — remove one statement anywhere in the tree.
+
+Every candidate is well-formed by construction (blocks never become empty —
+``skip`` is substituted — and annotation terms over removed qubits are
+rewritten), so the oracle always re-checks a parseable ``.nqpv`` source.  The
+loop is greedy and deterministic, hence idempotent: once no reduction is
+accepted the result is a fixpoint and re-shrinking returns it unchanged
+(asserted by the shrinker-idempotence property test).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from .generator import (
+    Block,
+    FChoice,
+    FGate,
+    FIf,
+    FInit,
+    FSkip,
+    FuzzProgram,
+    FuzzStatement,
+    FWhile,
+    PredicateTerm,
+)
+
+__all__ = ["shrink", "candidates"]
+
+#: Safety bound on accepted reductions; a draw has far fewer statements.
+_MAX_STEPS = 10_000
+
+
+def _nonempty(block: Block) -> Block:
+    """Return the block, or a single ``skip`` when the reduction emptied it."""
+    return block if block else (FSkip(),)
+
+
+# ---------------------------------------------------------------------------
+# Qubit removal
+# ---------------------------------------------------------------------------
+
+
+def _strip_statement(statement: FuzzStatement, qubit: str) -> Optional[FuzzStatement]:
+    """Return the statement with ``qubit`` removed, or ``None`` to drop it."""
+    if isinstance(statement, (FSkip,)):
+        return statement
+    if isinstance(statement, FInit):
+        remaining = tuple(q for q in statement.qubits if q != qubit)
+        return FInit(remaining) if remaining else None
+    if isinstance(statement, FGate):
+        return None if qubit in statement.qubits else statement
+    if isinstance(statement, FIf):
+        if qubit in statement.qubits:
+            return None
+        then_block = _nonempty(_strip_block(statement.then_block, qubit))
+        else_block = (
+            _nonempty(_strip_block(statement.else_block, qubit))
+            if statement.else_block is not None
+            else None
+        )
+        return FIf(statement.measurement, statement.qubits, then_block, else_block)
+    if isinstance(statement, FWhile):
+        if qubit in statement.qubits:
+            return None
+        invariant = tuple(term for term in statement.invariant if qubit not in term.qubits)
+        if not invariant:
+            invariant = (PredicateTerm("I", (statement.qubits[0],)),)
+        return FWhile(
+            statement.measurement,
+            statement.qubits,
+            invariant,
+            _nonempty(_strip_block(statement.body, qubit)),
+        )
+    if isinstance(statement, FChoice):
+        branches = tuple(_nonempty(_strip_block(branch, qubit)) for branch in statement.branches)
+        return FChoice(branches)
+    return statement
+
+
+def _strip_block(block: Block, qubit: str) -> Block:
+    stripped = (_strip_statement(statement, qubit) for statement in block)
+    return tuple(statement for statement in stripped if statement is not None)
+
+
+def _remove_qubit(program: FuzzProgram, qubit: str) -> Optional[FuzzProgram]:
+    """Return the program with one qubit (and everything touching it) removed."""
+    remaining = tuple(q for q in program.qubits if q != qubit)
+    if not remaining:
+        return None
+    statements = _strip_block(program.statements, qubit)
+    if not statements:
+        statements = (FInit(remaining),)
+    postcondition = tuple(term for term in program.postcondition if qubit not in term.qubits)
+    if not postcondition:
+        postcondition = (PredicateTerm("I", (remaining[0],)),)
+    return program.replaced(qubits=remaining, statements=statements, postcondition=postcondition)
+
+
+# ---------------------------------------------------------------------------
+# Block reductions: deletion + branch collapsing
+# ---------------------------------------------------------------------------
+
+
+def _block_reductions(block: Block, top_level: bool) -> Iterator[Block]:
+    """Yield every one-step reduction of ``block``, outermost cuts first."""
+    for index, statement in enumerate(block):
+        rest = block[:index] + block[index + 1 :]
+        # Deletion (keep top-level blocks non-empty for a parseable program).
+        if rest or not top_level:
+            yield _nonempty(rest) if not top_level else rest
+        elif len(block) == 1 and not isinstance(statement, FSkip):
+            yield (FSkip(),)
+        # Branch collapsing.
+        if isinstance(statement, FIf):
+            yield block[:index] + statement.then_block + block[index + 1 :]
+            if statement.else_block is not None:
+                yield block[:index] + statement.else_block + block[index + 1 :]
+                yield block[:index] + (
+                    FIf(statement.measurement, statement.qubits, statement.then_block, None),
+                ) + block[index + 1 :]
+        elif isinstance(statement, FWhile):
+            yield block[:index] + statement.body + block[index + 1 :]
+        elif isinstance(statement, FChoice):
+            for branch in statement.branches:
+                yield block[:index] + branch + block[index + 1 :]
+            if len(statement.branches) > 2:
+                for drop in range(len(statement.branches)):
+                    kept = statement.branches[:drop] + statement.branches[drop + 1 :]
+                    yield block[:index] + (FChoice(kept),) + block[index + 1 :]
+        # Recursive reductions inside compound children.
+        for reduced in _statement_reductions(statement):
+            yield block[:index] + (reduced,) + block[index + 1 :]
+
+
+def _statement_reductions(statement: FuzzStatement) -> Iterator[FuzzStatement]:
+    """Yield the statement with one reduction applied inside a child block."""
+    if isinstance(statement, FIf):
+        for reduced in _block_reductions(statement.then_block, top_level=False):
+            yield FIf(statement.measurement, statement.qubits, reduced, statement.else_block)
+        if statement.else_block is not None:
+            for reduced in _block_reductions(statement.else_block, top_level=False):
+                yield FIf(statement.measurement, statement.qubits, statement.then_block, reduced)
+    elif isinstance(statement, FWhile):
+        for reduced in _block_reductions(statement.body, top_level=False):
+            yield FWhile(statement.measurement, statement.qubits, statement.invariant, reduced)
+    elif isinstance(statement, FChoice):
+        for position, branch in enumerate(statement.branches):
+            for reduced in _block_reductions(branch, top_level=False):
+                yield FChoice(
+                    statement.branches[:position]
+                    + (reduced,)
+                    + statement.branches[position + 1 :]
+                )
+
+
+def _postcondition_reductions(program: FuzzProgram) -> Iterator[FuzzProgram]:
+    """Yield the program with one postcondition term dropped (keeping ≥ 1)."""
+    if len(program.postcondition) <= 1:
+        return
+    for index in range(len(program.postcondition)):
+        terms = program.postcondition[:index] + program.postcondition[index + 1 :]
+        yield program.replaced(postcondition=terms)
+
+
+def candidates(program: FuzzProgram) -> Iterator[FuzzProgram]:
+    """Yield every one-step reduction of ``program``, largest cuts first."""
+    for qubit in program.qubits:
+        candidate = _remove_qubit(program, qubit)
+        if candidate is not None:
+            yield candidate
+    yield from _postcondition_reductions(program)
+    for reduced in _block_reductions(program.statements, top_level=True):
+        if reduced:
+            yield program.replaced(statements=reduced)
+
+
+def shrink(
+    program: FuzzProgram,
+    still_failing: Callable[[FuzzProgram], bool],
+    max_steps: int = _MAX_STEPS,
+) -> FuzzProgram:
+    """Greedily minimise ``program`` while the oracle keeps failing.
+
+    ``still_failing`` must return ``True`` for the input program's failure to
+    be preserved; the function returns the smallest fixpoint reached (the
+    input itself when no reduction preserves the failure).  Candidates that
+    raise are treated as not preserving the failure and skipped.
+    """
+    current = program
+    for _ in range(max_steps):
+        accepted: Optional[FuzzProgram] = None
+        seen: set = set()
+        for candidate in candidates(current):
+            key = candidate.source()
+            if key in seen:
+                continue
+            seen.add(key)
+            try:
+                if still_failing(candidate):
+                    accepted = candidate
+                    break
+            except Exception:
+                continue
+        if accepted is None:
+            return current
+        current = accepted
+    return current

@@ -66,17 +66,18 @@ def kraus_pairwise_shard(earlier_chunk, step, options) -> List:
     ]
 
 
-def transfer_pairwise_shard(step_chunk, current_stack):
-    """Batched pairwise products of one slice of the step stack with the full current stack.
+def transfer_pairwise_shard(current_chunk, step_stack):
+    """Batched pairwise products of one slice of the current stack with the full step stack.
 
     Mirrors ``TransferSet.compose_pairwise``, whose product order is
-    step-major — hence the *step* stack is what gets sliced, and concatenating
-    the shard outputs along axis 0 reproduces the serial stack order.
+    *earlier*-major (the cross-backend ordering invariant) — hence the
+    accumulated *current* stack is what gets sliced, and concatenating the
+    shard outputs along axis 0 reproduces the serial stack order.
     """
     import numpy as np
 
-    products = np.einsum("aij,bjk->abik", step_chunk, current_stack)
-    side = step_chunk.shape[1]
+    products = np.einsum("aij,bjk->baik", step_stack, current_chunk)
+    side = step_stack.shape[1]
     return products.reshape(-1, side, side)
 
 

@@ -9,7 +9,9 @@
   (Sec. 6), with a gate-local ``layout="gates"`` circuit variant;
 * :mod:`repro.programs.teleport`  — teleportation (extension);
 * :mod:`repro.programs.phaseflip` — three-qubit phase-flip code (extension);
-* :mod:`repro.programs.rus`       — repeat-until-success loops for total correctness (extension).
+* :mod:`repro.programs.rus`       — repeat-until-success loops for total correctness (extension);
+* :mod:`repro.programs.noise`     — CPTP noise builders (Stinespring-dilated into
+  the unitary surface language) and noisy variants of the scalable families.
 
 The three scalable families (``errcorr_formula(num_data_qubits=…)``,
 ``qwalk_formula(num_positions=…)``, ``grover_formula(n, layout=…)``) are the
@@ -33,6 +35,18 @@ from .grover import (
     grover_register,
     grover_success_probability,
     oracle_matrix,
+)
+from .noise import (
+    amplitude_damping,
+    apply_noise,
+    build_noise,
+    depolarizing,
+    noise_gadget,
+    noisy_errcorr_formula,
+    noisy_grover_formula,
+    noisy_qwalk_formula,
+    stinespring_unitary,
+    verify_cptp,
 )
 from .phaseflip import phaseflip_formula, phaseflip_program, phaseflip_register
 from .qwalk import (

@@ -1,0 +1,353 @@
+"""Noisy channel builders and noisy variants of the scalable program families.
+
+The paper's case studies are noiseless apart from the error-correction
+family's injected bit flips; every program denotes a set of *unitary-derived*
+channels.  This module threads genuinely non-unitary CPTP noise through the
+program layer so the fuzzer and the benchmarks exercise denotations the paper
+never reached:
+
+* :func:`amplitude_damping` / :func:`depolarizing` — CPTP-verified tensor
+  powers of the textbook single-qubit channels;
+* :func:`stinespring_unitary` — the dilation turning any CPTP channel into a
+  unitary on ``system ⊗ ancilla``, so noise fits the unitary-only surface
+  language: the gadget ``anc := 0; [q anc] *= U`` *is* the channel on ``q``
+  after the ancilla is discarded;
+* :func:`apply_noise` — rewrite a program so every unitary statement is
+  followed by per-qubit noise gadgets (a standard local-noise model), reusing
+  one shared ancilla block that each gadget re-initialises;
+* ``noisy_grover_formula`` / ``noisy_errcorr_formula`` /
+  ``noisy_qwalk_formula`` — noisy variants of the scalable families with the
+  same shape as the originals.
+
+Noisy formulas are shipped in partial-correctness mode with the trivially
+valid ``{0}`` precondition: the exact noisy precondition has no closed form,
+and the zero assertion keeps every formula sound while the program and
+postcondition still drive the full non-unitary pipeline.
+
+Errors raised here carry stable ``QN…`` codes on the exception's ``code``
+attribute (``QN101`` bad strength, ``QN102`` not CPTP, ``QN103`` dimension
+mismatch, ``QN104`` bad noise kind, ``QN105`` ancilla name clash).  The
+``QN`` prefix is deliberately disjoint from the static analyzer's ``QV``
+registry — these defects are programmatic-builder misuse, not source-level
+diagnostics.
+"""
+
+from __future__ import annotations
+
+from math import ceil, log2
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import SuperOperatorError
+from ..language.ast import If, Init, NDet, Program, Seq, Unitary, While, seq
+from ..linalg.constants import ATOL
+from ..logic.formula import CorrectnessFormula, CorrectnessMode
+from ..predicates.assertion import QuantumAssertion
+from ..registers import QubitRegister
+from ..superop.channels import amplitude_damping_channel, depolarizing_channel
+from ..superop.kraus import SuperOperator
+from .errcorr import errcorr_formula
+from .grover import grover_formula
+from .qwalk import qwalk_formula
+
+__all__ = [
+    "NOISE_KINDS",
+    "amplitude_damping",
+    "depolarizing",
+    "build_noise",
+    "verify_cptp",
+    "stinespring_unitary",
+    "noise_gadget",
+    "ancilla_qubit_names",
+    "apply_noise",
+    "noisy_grover_formula",
+    "noisy_errcorr_formula",
+    "noisy_qwalk_formula",
+]
+
+#: The recognised noise-model names accepted by :func:`build_noise`.
+NOISE_KINDS = ("amplitude_damping", "depolarizing")
+
+#: Prefix of the shared ancilla qubits the noise gadgets re-initialise.
+ANCILLA_PREFIX = "noise_anc"
+
+
+def _check_strength(value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise SuperOperatorError(
+            f"noise strength {value} is outside [0, 1]", code="QN101"
+        )
+
+
+def verify_cptp(channel: SuperOperator, atol: float = 1e-9) -> SuperOperator:
+    """Return ``channel`` after asserting it is completely positive and trace preserving.
+
+    Complete positivity is structural for Kraus-form maps; the check that can
+    actually fail — and the one a mistyped Kraus family fails — is trace
+    preservation ``Σ_i K_i†K_i = I``.  Raises with code ``QN102`` otherwise.
+    """
+    if not channel.is_trace_preserving(atol=atol):
+        raise SuperOperatorError(
+            "noise channel is not trace preserving (Σ K†K ≠ I)", code="QN102"
+        )
+    return channel
+
+
+def amplitude_damping(gamma: float, num_qubits: int = 1) -> SuperOperator:
+    """Return the ``num_qubits``-fold tensor power of the amplitude-damping channel."""
+    _check_strength(gamma)
+    return verify_cptp(_tensor_power(amplitude_damping_channel(gamma), num_qubits))
+
+
+def depolarizing(probability: float, num_qubits: int = 1) -> SuperOperator:
+    """Return the ``num_qubits``-fold tensor power of the depolarising channel."""
+    _check_strength(probability)
+    return verify_cptp(_tensor_power(depolarizing_channel(probability), num_qubits))
+
+
+def build_noise(kind: str, strength: float, num_qubits: int = 1) -> SuperOperator:
+    """Build a named noise channel; raises with code ``QN104`` for unknown kinds."""
+    if kind == "amplitude_damping":
+        return amplitude_damping(strength, num_qubits)
+    if kind == "depolarizing":
+        return depolarizing(strength, num_qubits)
+    raise SuperOperatorError(
+        f"unknown noise kind {kind!r}; expected one of {NOISE_KINDS}", code="QN104"
+    )
+
+
+def _tensor_power(channel: SuperOperator, num_qubits: int) -> SuperOperator:
+    if num_qubits < 1:
+        raise SuperOperatorError(
+            f"noise channel needs at least one qubit, got {num_qubits}", code="QN103"
+        )
+    result = channel
+    for _ in range(num_qubits - 1):
+        result = result.tensor(channel)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Stinespring dilation
+# ---------------------------------------------------------------------------
+
+
+def stinespring_unitary(channel: SuperOperator, atol: float = 1e-9) -> Tuple[np.ndarray, int]:
+    """Dilate a CPTP channel to a unitary on ``system ⊗ ancilla``.
+
+    Returns ``(U, num_ancilla_qubits)`` where ``U`` acts on
+    ``d · 2^num_ancilla_qubits`` dimensions (system factor first) and satisfies
+    ``U (|ψ⟩ ⊗ |0…0⟩) = Σ_i (K_i|ψ⟩) ⊗ |i⟩``.  Discarding the ancilla after
+    ``U`` — or, in program form, never measuring it again — realises exactly
+    the channel, so ``anc := 0; [q anc] *= U`` is the channel on ``q``.
+
+    The isometry columns are completed to a full unitary basis with one QR
+    factorisation; trace preservation (checked, code ``QN102``) is what makes
+    the columns orthonormal in the first place.
+    """
+    verify_cptp(channel, atol=atol)
+    kraus = channel.kraus_operators
+    dimension = channel.dimension
+    num_ancilla_qubits = max(1, ceil(log2(len(kraus))))
+    ancilla_dim = 2 ** num_ancilla_qubits
+    total = dimension * ancilla_dim
+
+    # Isometry V : |ψ⟩ ↦ Σ_i K_i|ψ⟩ ⊗ |i⟩ as a (total, dimension) matrix.
+    isometry = np.zeros((total, dimension), dtype=complex)
+    for index, operator in enumerate(kraus):
+        ket = np.zeros((ancilla_dim, 1), dtype=complex)
+        ket[index, 0] = 1.0
+        isometry += np.kron(np.asarray(operator, dtype=complex), ket)
+
+    # The dilation must send |ψ⟩⊗|0⟩ to V|ψ⟩: column s·ancilla_dim of U is
+    # V[:, s].  The remaining columns are any orthonormal completion.
+    unitary = np.zeros((total, total), dtype=complex)
+    unitary[:, [col * ancilla_dim for col in range(dimension)]] = isometry
+    free_columns = [col for col in range(total) if col % ancilla_dim != 0]
+    # Gram–Schmidt the full standard basis against the isometry columns; any
+    # ``total - dimension`` survivors complete the unitary (candidates tied to
+    # the free column positions alone can fail when a Kraus operator is zero
+    # and the isometry avoids the |0⟩-ancilla subspace entirely).
+    basis = isometry
+    completion: List[np.ndarray] = []
+    for source in range(total):
+        if len(completion) == len(free_columns):
+            break
+        candidate = np.zeros((total, 1), dtype=complex)
+        candidate[source, 0] = 1.0
+        # Project out everything already in the basis (twice, for stability).
+        for _ in range(2):
+            candidate = candidate - basis @ (basis.conj().T @ candidate)
+        norm = float(np.linalg.norm(candidate))
+        if norm < 1e-6:
+            continue
+        candidate = candidate / norm
+        completion.append(candidate)
+        basis = np.hstack([basis, candidate])
+    if len(completion) != len(free_columns):  # pragma: no cover - basis spans by construction
+        raise SuperOperatorError(
+            "Stinespring completion failed to find enough orthogonal columns", code="QN102"
+        )
+    for col, candidate in zip(free_columns, completion):
+        unitary[:, [col]] = candidate
+    return unitary, num_ancilla_qubits
+
+
+# ---------------------------------------------------------------------------
+# Program rewriting
+# ---------------------------------------------------------------------------
+
+
+def ancilla_qubit_names(num_ancilla_qubits: int) -> Tuple[str, ...]:
+    """Return the canonical shared ancilla names ``noise_anc0 …``."""
+    return tuple(f"{ANCILLA_PREFIX}{index}" for index in range(num_ancilla_qubits))
+
+
+def noise_gadget(
+    channel: SuperOperator,
+    qubits: Sequence[str],
+    ancillas: Optional[Sequence[str]] = None,
+    name: str = "Noise",
+) -> List[Program]:
+    """Return the statement pair realising ``channel`` on the named ``qubits``.
+
+    ``[anc] := 0; [qubits anc] *= U`` with ``U`` the Stinespring dilation —
+    the ancilla is re-initialised by every gadget, so one shared ancilla block
+    serves arbitrarily many noise insertions.  Raises with code ``QN103``
+    when the channel dimension does not match the qubit count, and ``QN105``
+    when an ancilla name collides with a system qubit.
+    """
+    qubits = tuple(qubits)
+    if channel.dimension != 2 ** len(qubits):
+        raise SuperOperatorError(
+            f"noise channel dimension {channel.dimension} does not match "
+            f"{len(qubits)} target qubit(s)",
+            code="QN103",
+        )
+    unitary, num_ancilla_qubits = stinespring_unitary(channel)
+    ancillas = (
+        tuple(ancillas) if ancillas is not None else ancilla_qubit_names(num_ancilla_qubits)
+    )
+    if len(ancillas) != num_ancilla_qubits:
+        raise SuperOperatorError(
+            f"noise gadget needs {num_ancilla_qubits} ancilla qubit(s), got {len(ancillas)}",
+            code="QN103",
+        )
+    if set(ancillas) & set(qubits):
+        raise SuperOperatorError(
+            f"ancilla names {sorted(set(ancillas) & set(qubits))} collide with target qubits",
+            code="QN105",
+        )
+    return [Init(ancillas), Unitary(qubits + ancillas, name, unitary)]
+
+
+def apply_noise(
+    program: Program,
+    kind: str,
+    strength: float,
+    ancillas: Optional[Sequence[str]] = None,
+) -> Tuple[Program, Tuple[str, ...]]:
+    """Insert per-qubit noise gadgets after every unitary statement of ``program``.
+
+    Implements the standard local-noise model: after each gate, every qubit
+    the gate touched passes through the single-qubit ``kind`` channel.  All
+    gadgets share one ancilla block (returned alongside the program) that each
+    re-initialises, so the register grows by the ancilla count only.  With
+    ``strength == 0`` the rewritten program is semantically equal to the
+    original on the system qubits (the zero-noise-limit property test).
+    Raises with code ``QN105`` if the ancilla names collide with program
+    variables.
+    """
+    channel = build_noise(kind, strength, num_qubits=1)
+    unitary, num_ancilla_qubits = stinespring_unitary(channel)
+    ancillas = (
+        tuple(ancillas) if ancillas is not None else ancilla_qubit_names(num_ancilla_qubits)
+    )
+    clash = set(ancillas) & set(program.quantum_variables())
+    if clash:
+        raise SuperOperatorError(
+            f"ancilla names {sorted(clash)} collide with program variables", code="QN105"
+        )
+    label = f"{kind}({strength:g})"
+
+    def rewrite(node: Program) -> Program:
+        if isinstance(node, Unitary):
+            statements: List[Program] = [node]
+            for qubit in node.qubits:
+                statements.append(Init(ancillas))
+                statements.append(Unitary((qubit,) + ancillas, label, unitary))
+            return seq(*statements)
+        if isinstance(node, Seq):
+            return seq(*[rewrite(statement) for statement in node.statements])
+        if isinstance(node, NDet):
+            return NDet(tuple(rewrite(branch) for branch in node.branches))
+        if isinstance(node, If):
+            return If(
+                node.measurement,
+                node.qubits,
+                rewrite(node.then_branch),
+                rewrite(node.else_branch),
+            )
+        if isinstance(node, While):
+            return While(node.measurement, node.qubits, rewrite(node.body))
+        return node
+
+    return rewrite(program), ancillas
+
+
+# ---------------------------------------------------------------------------
+# Noisy scalable families
+# ---------------------------------------------------------------------------
+
+
+def _noisy_formula(
+    formula: CorrectnessFormula, register: QubitRegister, kind: str, strength: float
+) -> Tuple[CorrectnessFormula, QubitRegister]:
+    """Rewrite one family formula into its noisy counterpart on the joint register."""
+    noisy_program, ancillas = apply_noise(formula.program, kind, strength)
+    noisy_register = register.union(ancillas)
+    noisy = CorrectnessFormula(
+        QuantumAssertion.zero(noisy_register.num_qubits),
+        noisy_program,
+        formula.postcondition.embed(register.names, noisy_register),
+        CorrectnessMode.PARTIAL,
+    )
+    return noisy, noisy_register
+
+
+def noisy_grover_formula(
+    num_qubits: int,
+    kind: str = "amplitude_damping",
+    strength: float = 0.05,
+    marked: int = 0,
+    iterations: Optional[int] = None,
+    layout: str = "fused",
+) -> Tuple[CorrectnessFormula, QubitRegister]:
+    """Return the Grover family with per-qubit noise after every gate."""
+    formula, register = grover_formula(num_qubits, marked, iterations, layout=layout)
+    return _noisy_formula(formula, register, kind, strength)
+
+
+def noisy_errcorr_formula(
+    num_data_qubits: int = 3,
+    kind: str = "amplitude_damping",
+    strength: float = 0.05,
+    alpha0: float = 0.6,
+    alpha1: float = 0.8,
+) -> Tuple[CorrectnessFormula, QubitRegister]:
+    """Return the repetition-code family with per-qubit noise after every gate."""
+    formula, register = errcorr_formula(
+        alpha0=alpha0, alpha1=alpha1, num_data_qubits=num_data_qubits
+    )
+    return _noisy_formula(formula, register, kind, strength)
+
+
+def noisy_qwalk_formula(
+    num_positions: int = 4,
+    kind: str = "amplitude_damping",
+    strength: float = 0.05,
+) -> Tuple[CorrectnessFormula, QubitRegister]:
+    """Return the quantum-walk family with per-qubit noise after every gate."""
+    formula, register = qwalk_formula(num_positions)
+    return _noisy_formula(formula, register, kind, strength)

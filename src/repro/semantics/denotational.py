@@ -764,9 +764,11 @@ def _kraus_pairwise_parallel(current, step, register, options) -> Optional[List]
 def _transfer_pairwise_parallel(step, current, register, options) -> Optional[TransferSet]:
     """Shard a batched ``step.compose_pairwise(current)``; ``None`` = serial.
 
-    ``compose_pairwise`` is *step*-major (``einsum("aij,bjk->abik")`` over the
-    step stack ``a``), so the step stack is what gets sliced and the shard
-    outputs concatenate along axis 0 into the serial stack order.
+    ``compose_pairwise`` is *earlier*-major (matching the Kraus backend's
+    serial enumeration — the cross-backend ordering invariant the sampled
+    schedulers rely on), so the accumulated ``current`` stack is what gets
+    sliced and the shard outputs concatenate along axis 0 into the serial
+    stack order.
     """
     if options.parallelism == 1:
         return None
@@ -780,8 +782,8 @@ def _transfer_pairwise_parallel(step, current, register, options) -> Optional[Tr
 
     if len(step) * len(current) < MIN_PAIRWISE_PRODUCTS:
         return None
-    shards = shard_evenly(step.stack, effective_jobs(options.parallelism))
-    payloads = [(shard, current.stack) for shard in shards]
+    shards = shard_evenly(current.stack, effective_jobs(options.parallelism))
+    payloads = [(shard, step.stack) for shard in shards]
     shard_results = parallel_map(
         transfer_pairwise_shard, payloads, options.parallelism, work_size=register.dimension
     )

@@ -445,12 +445,19 @@ class TransferSet:
 
         This is the lifted ``Seq`` composition: every later map composed with
         every earlier map, ``n·m`` products computed in a single call.
+
+        The result is *earlier*-major (all products of ``earlier[0]`` first),
+        matching the Kraus backend's serial ``Seq`` enumeration exactly.  The
+        ordering is semantic, not cosmetic: denotation-set positions are what
+        sampled :class:`~repro.semantics.schedulers.RandomScheduler` indices
+        select, so the backends must enumerate identically or their loop
+        semantics diverge (found by the cross-representation fuzzer).
         """
         if self._dimension != earlier._dimension:
             raise DimensionMismatchError(
                 f"transfer sets act on different dimensions: {self._dimension} vs {earlier._dimension}"
             )
-        products = np.einsum("aij,bjk->abik", self._stack, earlier._stack)
+        products = np.einsum("aij,bjk->baik", self._stack, earlier._stack)
         side = self._stack.shape[1]
         return TransferSet(products.reshape(-1, side, side))
 

@@ -1,0 +1,196 @@
+"""Fuzzer sweep: generator validity, cross-representation agreement, shrinker laws.
+
+The sweep seed and size are fixed so the batch is identical on every run and
+on CI; any divergence this module ever finds should be promoted to
+``tests/regressions/`` via ``python tools/fuzz.py --seed <S> --index <I>
+--shrink`` (the repro line each failure message prints).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.static.analyzer import analyze_source
+from repro.assistant.verify import build_task
+from repro.fuzz import (
+    DEFAULT_COMBOS,
+    GeneratorConfig,
+    OracleConfig,
+    generate_batch,
+    generate_program,
+    shrink,
+)
+from repro.fuzz.differential import check_program, repro_line
+from repro.fuzz.generator import FGate, FuzzProgram
+from repro.language.parser import parse_annotated_program
+
+#: The fixed sweep identity: every run checks the same 200 programs.
+SWEEP_SEED = 20260808
+SWEEP_COUNT = 200
+CHUNK = 25
+
+#: Oracle setup of the in-suite sweep (the CI smoke gate runs the driver's
+#: heavier default separately).
+SWEEP_CONFIG = OracleConfig(max_iterations=16)
+
+
+def _chunk(index: int):
+    return generate_batch(SWEEP_SEED, SWEEP_COUNT)[index * CHUNK : (index + 1) * CHUNK]
+
+
+class TestGeneratorValidity:
+    """Every draw is well-typed by construction — asserted, not assumed."""
+
+    def test_batch_is_deterministic_and_index_reproducible(self):
+        batch = generate_batch(SWEEP_SEED, 20)
+        again = generate_batch(SWEEP_SEED, 20)
+        assert [p.source() for p in batch] == [p.source() for p in again]
+        # --index I regenerates batch member I bit-for-bit in isolation.
+        assert generate_program(SWEEP_SEED, 13).source() == batch[13].source()
+
+    def test_every_draw_parses_resolves_and_lints_clean(self):
+        for program in generate_batch(SWEEP_SEED, SWEEP_COUNT):
+            source = program.source()
+            annotated = parse_annotated_program(source)
+            assert annotated.postcondition is not None
+            result = analyze_source(source)
+            assert not result.errors, (
+                f"{repro_line(program.seed, program.index)} produced analyzer errors: "
+                f"{[d.code for d in result.errors]}"
+            )
+            task = build_task(source)
+            assert task.formula.program.size() >= 1
+
+    def test_draws_cover_the_full_grammar(self):
+        batch = generate_batch(SWEEP_SEED, SWEEP_COUNT)
+        sources = [p.source() for p in batch]
+        assert any(p.contains_while() for p in batch)
+        assert any("(" in s for s in sources), "no nondeterministic choice drawn"
+        assert any("if " in s for s in sources)
+        assert any("abort" in s for s in sources)
+        assert any(":= 0" in s for s in sources)
+        assert any("inv:" in s for s in sources)
+
+    def test_clifford_bias_one_draws_clifford_gates_only(self):
+        clifford = {"X", "Y", "Z", "H", "S", "CX", "CZ", "SWAP", "C0X"}
+        config = GeneratorConfig(clifford_bias=1.0)
+        for program in generate_batch(99, 50, config):
+            assert program.gate_names() <= clifford, program.gate_names()
+
+    def test_qubit_budget_is_respected(self):
+        config = GeneratorConfig(min_qubits=2, max_qubits=2)
+        for program in generate_batch(5, 20, config):
+            assert program.qubits == ("q0", "q1")
+
+
+class TestDifferentialSweep:
+    """kraus/transfer × dense/local × jobs∈{1,2} agree on every fixed-seed draw."""
+
+    def test_oracle_matrix_is_complete(self):
+        labels = {combo.label for combo in DEFAULT_COMBOS}
+        assert len(labels) == 8
+        for backend in ("kraus", "transfer"):
+            for lifting in ("dense", "local"):
+                for jobs in (1, 2):
+                    assert f"{backend}/{lifting}/j{jobs}" in labels
+
+    @pytest.mark.parametrize("chunk", range(SWEEP_COUNT // CHUNK))
+    def test_all_representation_pairs_agree(self, chunk):
+        for program in _chunk(chunk):
+            divergences = check_program(program, SWEEP_CONFIG)
+            assert not divergences, "\n".join(
+                f"{d.kind} {d.combo_a} vs {d.combo_b}: {d.detail}\n"
+                f"repro: {d.repro}\n{d.source}"
+                for d in divergences
+            )
+
+    def test_loop_free_draws_check_prover_against_wlp(self):
+        batch = generate_batch(SWEEP_SEED, SWEEP_COUNT)
+        loop_free = [p for p in batch if not p.contains_while()]
+        # The prover-vs-wlp comparison (relative completeness on loop-free
+        # programs) runs inside check_program; here we pin that the sweep
+        # actually exercises it on a healthy fraction of the batch.
+        assert len(loop_free) >= SWEEP_COUNT // 10
+
+
+class TestShrinker:
+    """The delta-debugging loop is deterministic, size-reducing and idempotent."""
+
+    @staticmethod
+    def _has_t_gate(program: FuzzProgram) -> bool:
+        return "T" in program.gate_names()
+
+    def _programs_with_t(self, count=5):
+        found = []
+        config = GeneratorConfig(clifford_bias=0.0)
+        index = 0
+        while len(found) < count and index < 500:
+            program = generate_program(777, index, config)
+            if self._has_t_gate(program):
+                found.append(program)
+            index += 1
+        assert len(found) == count
+        return found
+
+    def test_shrink_reduces_size_and_preserves_the_property(self):
+        for program in self._programs_with_t():
+            small = shrink(program, self._has_t_gate)
+            assert self._has_t_gate(small)
+            assert small.size() <= program.size()
+
+    def test_shrink_is_idempotent(self):
+        for program in self._programs_with_t():
+            once = shrink(program, self._has_t_gate)
+            twice = shrink(once, self._has_t_gate)
+            assert once.source() == twice.source()
+
+    def test_shrink_to_single_statement(self):
+        # A property depending on one gate only should shrink to (almost)
+        # nothing: one init prologue is kept for well-formedness, plus the
+        # witness statement itself.
+        for program in self._programs_with_t():
+            small = shrink(program, self._has_t_gate)
+            gates = [s for s in small.statements if isinstance(s, FGate)]
+            assert sum(1 for g in gates if g.name == "T") >= 1
+            assert small.size() <= 3, small.source()
+
+    def test_shrunk_programs_stay_well_formed(self):
+        for program in self._programs_with_t():
+            small = shrink(program, self._has_t_gate)
+            result = analyze_source(small.source())
+            assert not result.errors
+            build_task(small.source())
+
+    def test_candidates_never_raise_on_sweep_draws(self):
+        from repro.fuzz.shrink import candidates
+
+        for program in generate_batch(SWEEP_SEED, 30):
+            for candidate in candidates(program):
+                source = candidate.source()
+                assert isinstance(source, str) and source.strip()
+
+
+class TestDivergenceReporting:
+    """Failures carry the single-line repro the issue demands."""
+
+    def test_repro_line_shape(self):
+        assert repro_line(11, 42) == "python tools/fuzz.py --seed 11 --index 42 --shrink"
+
+    def test_forced_divergence_reports_repro_and_source(self, monkeypatch):
+        # Force every pair to "diverge" by stubbing the comparators (identical
+        # float results pass even at negative tolerance), exercising the
+        # reporting path without a real bug.
+        import repro.fuzz.differential as differential
+
+        monkeypatch.setattr(differential, "set_equal", lambda *a, **k: False)
+        monkeypatch.setattr(differential, "_assertions_close", lambda *a, **k: False)
+        program = generate_program(SWEEP_SEED, 0)
+        config = OracleConfig(combos=DEFAULT_COMBOS[:2], check_prover=False)
+        divergences = check_program(program, config)
+        assert divergences
+        first = divergences[0]
+        assert first.repro == repro_line(program.seed, program.index)
+        assert first.source == program.source()
+        payload = first.to_dict()
+        assert payload["repro"].startswith("python tools/fuzz.py --seed ")

@@ -1,0 +1,206 @@
+"""Noise layer: CPTP builders, Stinespring gadgets, noisy families, QN codes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SuperOperatorError
+from repro.language.ast import Init, Unitary, seq
+from repro.programs.grover import grover_formula, grover_program
+from repro.programs.noise import (
+    NOISE_KINDS,
+    amplitude_damping,
+    ancilla_qubit_names,
+    apply_noise,
+    build_noise,
+    depolarizing,
+    noise_gadget,
+    noisy_errcorr_formula,
+    noisy_grover_formula,
+    noisy_qwalk_formula,
+    stinespring_unitary,
+    verify_cptp,
+)
+from repro.registers import QubitRegister
+from repro.semantics.denotational import DenotationOptions, denotation
+from repro.superop.kraus import SuperOperator
+
+
+def _random_density(rng, dimension):
+    raw = rng.normal(size=(dimension, dimension)) + 1j * rng.normal(size=(dimension, dimension))
+    rho = raw @ raw.conj().T
+    return rho / np.trace(rho)
+
+
+class TestChannelBuilders:
+    @pytest.mark.parametrize("strength", [0.0, 0.1, 0.5, 1.0])
+    @pytest.mark.parametrize("kind", NOISE_KINDS)
+    def test_builders_are_trace_preserving(self, kind, strength):
+        channel = build_noise(kind, strength)
+        assert channel.is_trace_preserving()
+
+    @pytest.mark.parametrize("num_qubits", [1, 2, 3])
+    def test_tensor_powers_are_cptp(self, num_qubits):
+        channel = amplitude_damping(0.25, num_qubits=num_qubits)
+        assert channel.dimension == 2 ** num_qubits
+        assert channel.is_trace_preserving()
+        assert depolarizing(0.25, num_qubits=num_qubits).is_trace_preserving()
+
+    def test_amplitude_damping_damps_excited_state(self):
+        channel = amplitude_damping(0.4)
+        excited = np.diag([0.0, 1.0]).astype(complex)
+        out = channel.apply(excited)
+        assert np.isclose(out[0, 0].real, 0.4)
+        assert np.isclose(out[1, 1].real, 0.6)
+
+    def test_depolarizing_one_mixes_completely(self):
+        channel = depolarizing(1.0)
+        rho = np.diag([1.0, 0.0]).astype(complex)
+        out = channel.apply(rho)
+        # p=1 leaves (1/3)(XρX + YρY + ZρZ) = (2/3)I − (1/3)ρ.
+        expected = (2.0 / 3.0) * np.eye(2) - rho / 3.0
+        assert np.allclose(out, expected, atol=1e-12)
+
+    def test_verify_cptp_rejects_non_tp_map(self):
+        lossy = SuperOperator([np.diag([1.0, 0.0]).astype(complex)], validate=False)
+        with pytest.raises(SuperOperatorError) as excinfo:
+            verify_cptp(lossy)
+        assert excinfo.value.code == "QN102"
+
+
+class TestDiagnosticCodes:
+    """Failures carry stable ``QN…`` codes (disjoint from the analyzer's QV registry)."""
+
+    def test_bad_strength_is_qn101(self):
+        for bad in (-0.1, 1.1):
+            with pytest.raises(SuperOperatorError) as excinfo:
+                amplitude_damping(bad)
+            assert excinfo.value.code == "QN101"
+
+    def test_unknown_kind_is_qn104(self):
+        with pytest.raises(SuperOperatorError) as excinfo:
+            build_noise("thermal", 0.1)
+        assert excinfo.value.code == "QN104"
+
+    def test_dimension_mismatch_is_qn103(self):
+        channel = amplitude_damping(0.2)  # one qubit
+        with pytest.raises(SuperOperatorError) as excinfo:
+            noise_gadget(channel, ("a", "b"))
+        assert excinfo.value.code == "QN103"
+        with pytest.raises(SuperOperatorError) as excinfo:
+            noise_gadget(channel, ("q",), ancillas=("a1", "a2", "a3"))
+        assert excinfo.value.code == "QN103"
+        with pytest.raises(SuperOperatorError) as excinfo:
+            amplitude_damping(0.2, num_qubits=0)
+        assert excinfo.value.code == "QN103"
+
+    def test_ancilla_clash_is_qn105(self):
+        channel = amplitude_damping(0.2)
+        with pytest.raises(SuperOperatorError) as excinfo:
+            noise_gadget(channel, ("q",), ancillas=("q",))
+        assert excinfo.value.code == "QN105"
+        program = seq(Init(("noise_anc0",)), Unitary(("noise_anc0",), "H", np.array(
+            [[1, 1], [1, -1]], dtype=complex) / np.sqrt(2)))
+        with pytest.raises(SuperOperatorError) as excinfo:
+            apply_noise(program, "amplitude_damping", 0.1)
+        assert excinfo.value.code == "QN105"
+
+    def test_qn_codes_stay_out_of_the_analyzer_registry(self):
+        from repro.diagnostics import DIAGNOSTIC_CODES
+
+        assert not any(code.startswith("QN") for code in DIAGNOSTIC_CODES)
+
+
+class TestStinespring:
+    @pytest.mark.parametrize("strength", [0.0, 0.3, 1.0])
+    @pytest.mark.parametrize("kind", NOISE_KINDS)
+    def test_dilation_is_unitary(self, kind, strength):
+        unitary, num_ancilla = stinespring_unitary(build_noise(kind, strength))
+        assert num_ancilla >= 1
+        assert np.allclose(
+            unitary @ unitary.conj().T, np.eye(unitary.shape[0]), atol=1e-9
+        )
+
+    @pytest.mark.parametrize("kind,strength", [("amplitude_damping", 0.37), ("depolarizing", 0.25)])
+    def test_gadget_realises_the_channel(self, kind, strength):
+        channel = build_noise(kind, strength)
+        statements = noise_gadget(channel, ("q",))
+        _, num_ancilla = stinespring_unitary(channel)
+        register = QubitRegister(("q",) + ancilla_qubit_names(num_ancilla))
+        channels = denotation(seq(*statements), register, DenotationOptions())
+        assert len(channels) == 1
+        rng = np.random.default_rng(3)
+        ancilla_dim = 2 ** num_ancilla
+        for _ in range(4):
+            rho = _random_density(rng, 2)
+            # Arbitrary (mixed) ancilla input: the gadget re-initialises it.
+            joint = np.kron(rho, np.eye(ancilla_dim) / ancilla_dim)
+            reduced = register.reduce(channels[0].apply(joint), ("q",))
+            assert np.allclose(reduced, channel.apply(rho), atol=1e-9)
+
+
+class TestApplyNoise:
+    def test_inserts_one_gadget_per_touched_qubit(self):
+        program = grover_program(2)
+        gate_count = sum(1 for node in program.walk() if isinstance(node, Unitary))
+        noisy, ancillas = apply_noise(program, "amplitude_damping", 0.1)
+        noisy_gates = sum(1 for node in noisy.walk() if isinstance(node, Unitary))
+        touched = sum(
+            len(node.qubits) for node in program.walk() if isinstance(node, Unitary)
+        )
+        assert ancillas == ("noise_anc0",)
+        assert noisy_gates == gate_count + touched
+
+    def test_zero_noise_limit_agrees_with_noiseless_program(self):
+        formula, register = grover_formula(2)
+        noisy_formula, noisy_register = noisy_grover_formula(2, strength=0.0)
+        clean = denotation(formula.program, register, DenotationOptions())
+        noisy = denotation(noisy_formula.program, noisy_register, DenotationOptions())
+        assert len(clean) == 1 and len(noisy) == 1
+        rng = np.random.default_rng(7)
+        ancilla_dim = noisy_register.dimension // register.dimension
+        for _ in range(4):
+            rho = _random_density(rng, register.dimension)
+            joint = np.kron(rho, np.eye(ancilla_dim) / ancilla_dim)
+            reduced = noisy_register.reduce(noisy[0].apply(joint), register.names)
+            assert np.allclose(reduced, clean[0].apply(rho), atol=1e-9)
+
+    def test_nonzero_noise_changes_the_channel(self):
+        formula, register = grover_formula(2)
+        noisy_formula, noisy_register = noisy_grover_formula(2, strength=0.3)
+        clean = denotation(formula.program, register, DenotationOptions())
+        noisy = denotation(noisy_formula.program, noisy_register, DenotationOptions())
+        rho = np.zeros((register.dimension, register.dimension), dtype=complex)
+        rho[0, 0] = 1.0
+        ancilla_dim = noisy_register.dimension // register.dimension
+        joint = np.kron(rho, np.eye(ancilla_dim) / ancilla_dim)
+        reduced = noisy_register.reduce(noisy[0].apply(joint), register.names)
+        assert not np.allclose(reduced, clean[0].apply(rho), atol=1e-3)
+
+
+class TestNoisyFamilies:
+    def test_noisy_formulas_extend_the_register(self):
+        for builder, kwargs in (
+            (noisy_grover_formula, {"num_qubits": 2}),
+            (noisy_errcorr_formula, {"num_data_qubits": 3}),
+            (noisy_qwalk_formula, {"num_positions": 4}),
+        ):
+            formula, register = builder(kind="depolarizing", strength=0.05, **kwargs)
+            assert "noise_anc0" in register.names
+            assert formula.postcondition.dimension == register.dimension
+            assert formula.precondition.dimension == register.dimension
+            # Noisy programs must still denote genuine channel sets.
+            channels = denotation(
+                formula.program, register, DenotationOptions(max_iterations=8)
+            )
+            assert channels
+            for channel in channels:
+                assert channel.is_trace_nonincreasing()
+
+    def test_noisy_program_contains_noise_gates(self):
+        formula, _ = noisy_grover_formula(2, strength=0.2)
+        names = {
+            node.name for node in formula.program.walk() if isinstance(node, Unitary)
+        }
+        assert any(name.startswith("amplitude_damping") for name in names)

@@ -10,6 +10,7 @@ the malformed-program corpus golden under ``examples/lint/``.
 from __future__ import annotations
 
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -479,6 +480,7 @@ class TestCorpusGolden:
 
 
 class TestPreflightOverhead:
+    @pytest.mark.timing
     def test_analyzer_cost_is_negligible(self):
         """The pre-flight adds one ``analyze_source`` call per verification.
 
@@ -494,4 +496,5 @@ class TestPreflightOverhead:
             (lambda start=time.perf_counter(): (analyze_source(source), time.perf_counter() - start)[1])()
             for _ in range(5)
         )
-        assert best < 0.025, f"analyzer pre-flight took {best * 1e3:.1f} ms"
+        slack = max(1.0, float(os.environ.get("REPRO_RELAXED_TIMING", "1") or 1.0))
+        assert best < 0.025 * slack, f"analyzer pre-flight took {best * 1e3:.1f} ms"

@@ -28,6 +28,7 @@ DEFAULT_TARGETS = (
     "src/repro/programs",
     "src/repro/parallel",
     "src/repro/analysis/static",
+    "src/repro/fuzz",
 )
 
 
